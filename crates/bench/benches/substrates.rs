@@ -1,0 +1,122 @@
+//! Microbenchmarks of the performance-critical substrates: the event
+//! engine, the adaptive histogram, the analytic queue, and quantile
+//! extraction. Treadmill's accuracy depends on the client side staying
+//! cheap (§III-A "highly optimize for performance"), so these paths are
+//! the reproduction's hot loops.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use treadmill_sim_core::{
+    Engine, EventQueue, RateQueue, SimDuration, SimTime, World,
+};
+use treadmill_stats::{AdaptiveHistogram, LogHistogram, P2Quantile, StaticHistogram};
+
+struct ChainWorld {
+    remaining: u64,
+}
+
+enum ChainEvent {
+    Tick,
+}
+
+impl World for ChainWorld {
+    type Event = ChainEvent;
+    fn handle(&mut self, now: SimTime, _ev: ChainEvent, queue: &mut EventQueue<ChainEvent>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            queue.schedule(now + SimDuration::from_nanos(100), ChainEvent::Tick);
+        }
+    }
+}
+
+fn bench_event_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event-engine");
+    let events = 100_000u64;
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("chain-100k", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(ChainWorld { remaining: events });
+            engine.schedule(SimTime::ZERO, ChainEvent::Tick);
+            engine.run_to_completion();
+            black_box(engine.now())
+        })
+    });
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let samples: Vec<f64> = (0..100_000).map(|_| rng.gen_range(20.0..500.0)).collect();
+    let mut group = c.benchmark_group("histogram");
+    group.throughput(Throughput::Elements(samples.len() as u64));
+    group.bench_function("adaptive-record-100k", |b| {
+        b.iter(|| {
+            let mut hist = AdaptiveHistogram::new();
+            for &v in &samples {
+                hist.record(v);
+            }
+            black_box(hist.quantile(0.99))
+        })
+    });
+    group.bench_function("static-record-100k", |b| {
+        b.iter(|| {
+            let mut hist = StaticHistogram::new(0.0, 1_000.0, 1_024);
+            for &v in &samples {
+                hist.record(v);
+            }
+            black_box(hist.quantile(0.99))
+        })
+    });
+    group.bench_function("log-record-100k", |b| {
+        b.iter(|| {
+            let mut hist = LogHistogram::new(1.0, 1e6, 0.01);
+            for &v in &samples {
+                hist.record(v);
+            }
+            black_box(hist.quantile(0.99))
+        })
+    });
+    group.bench_function("p2-record-100k", |b| {
+        b.iter(|| {
+            let mut est = P2Quantile::new(0.99);
+            for &v in &samples {
+                est.record(v);
+            }
+            black_box(est.estimate())
+        })
+    });
+    group.finish();
+}
+
+fn bench_rate_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rate-queue");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("offer-100k", |b| {
+        b.iter(|| {
+            let mut queue = RateQueue::new("bench");
+            for i in 0..100_000u64 {
+                queue.offer(SimTime::from_nanos(i * 50), SimDuration::from_nanos(40));
+            }
+            black_box(queue.free_at())
+        })
+    });
+    group.finish();
+}
+
+fn bench_quantiles(c: &mut Criterion) {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let samples: Vec<f64> = (0..100_000).map(|_| rng.gen::<f64>() * 1e3).collect();
+    c.bench_function("quantile-sort-100k", |b| {
+        b.iter(|| black_box(treadmill_stats::quantile::quantile(&samples, 0.99)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_engine,
+    bench_histogram,
+    bench_rate_queue,
+    bench_quantiles
+);
+criterion_main!(benches);

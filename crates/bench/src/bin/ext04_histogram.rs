@@ -1,0 +1,70 @@
+//! Extension experiment 4: static vs adaptive histograms under a load
+//! ramp.
+//!
+//! §II-B: "non-adaptive histogram binning will break when the server is
+//! highly utilized, because the latency will keep increasing before
+//! reaching the steady state thus exceeds the upper bound". This
+//! experiment ramps the load across runs and reports each design's p99
+//! error against exact sample quantiles.
+
+use treadmill_bench::{banner, cell, memcached, row, BenchArgs};
+use treadmill_cluster::{ClientSpec, ClusterBuilder};
+use treadmill_core::{InterArrival, OpenLoopSource};
+use treadmill_sim_core::SimTime;
+use treadmill_stats::quantile::quantile;
+use treadmill_stats::{AdaptiveHistogram, StaticHistogram};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Extension 4",
+        "p99 error of static vs adaptive histograms as utilisation grows",
+        &args,
+    );
+    // A plausible static configuration, calibrated at low load: 0-180us
+    // covers the low-load distribution comfortably.
+    row([
+        "load_rps",
+        "exact_p99",
+        "adaptive_p99",
+        "adaptive_err",
+        "static_p99",
+        "static_err",
+        "static_clipped",
+    ]);
+    for rps in [100_000.0, 400_000.0, 700_000.0, 900_000.0, 950_000.0] {
+        let mut builder = ClusterBuilder::new(memcached())
+            .seed(args.seed)
+            .duration(args.duration());
+        for _ in 0..8 {
+            builder = builder.client(
+                ClientSpec::default(),
+                Box::new(OpenLoopSource::new(
+                    InterArrival::Exponential { rate_rps: rps / 8.0 },
+                    16,
+                )),
+            );
+        }
+        let result = builder.run();
+        let lat = result.user_latencies_us(SimTime::ZERO + args.warmup());
+        let exact = quantile(&lat, 0.99);
+        let mut adaptive = AdaptiveHistogram::new();
+        let mut fixed = StaticHistogram::new(0.0, 180.0, 180);
+        for &v in &lat {
+            adaptive.record(v);
+            fixed.record(v);
+        }
+        let a = adaptive.quantile(0.99);
+        let s = fixed.quantile(0.99);
+        row([
+            format!("{rps:.0}"),
+            cell(exact, 1),
+            cell(a, 1),
+            cell(a - exact, 1),
+            cell(s, 1),
+            cell(s - exact, 1),
+            fixed.clipped().to_string(),
+        ]);
+    }
+    println!("# the static histogram saturates at its upper bound once the tail outgrows it");
+}

@@ -1,0 +1,66 @@
+//! Extension experiment 5: ablating the hysteresis sources.
+//!
+//! Which per-restart state causes Figure 4's run-to-run spread? This
+//! experiment re-runs the same configuration with each hysteresis
+//! source disabled in turn and reports the spread of per-run p99s.
+
+use treadmill_bench::{banner, cell, memcached, row, BenchArgs, HIGH_LOAD_RPS};
+use treadmill_cluster::{HardwareConfig, HysteresisSpec, ServerSpec};
+use treadmill_core::LoadTest;
+use treadmill_stats::StreamingStats;
+
+fn spread(args: &BenchArgs, label: &str, hysteresis: HysteresisSpec) -> (String, f64, f64) {
+    let test = LoadTest::new(memcached(), HIGH_LOAD_RPS)
+        .hardware(HardwareConfig::from_index(1)) // interleave NUMA
+        .server_spec(ServerSpec {
+            hysteresis,
+            ..Default::default()
+        })
+        .clients(args.clients())
+        .duration(args.duration())
+        .warmup(args.warmup())
+        .seed(args.seed);
+    let runs = match args.scale {
+        treadmill_bench::Scale::Quick => 4,
+        _ => 8,
+    };
+    let stats: StreamingStats = (0..runs).map(|i| test.run(i).aggregated.p99).collect();
+    (label.to_string(), stats.mean(), stats.sample_stddev())
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Extension 5",
+        "Run-to-run p99 spread with hysteresis sources ablated (numa-interleave config)",
+        &args,
+    );
+    let full = HysteresisSpec::default();
+    let no_service = HysteresisSpec {
+        service_jitter: 0.0,
+        ..Default::default()
+    };
+    let no_placement = HysteresisSpec {
+        remote_jitter_same_node: 0.0,
+        remote_jitter_interleave: 0.0,
+        ..Default::default()
+    };
+    let none = HysteresisSpec::none();
+
+    row(["sources", "mean_p99_us", "stddev_us", "cv_pct"]);
+    for (label, spec) in [
+        ("all", full),
+        ("no-layout-jitter", no_service),
+        ("no-placement-jitter", no_placement),
+        ("none", none),
+    ] {
+        let (name, mean, sd) = spread(&args, label, spec);
+        row([
+            name,
+            cell(mean, 1),
+            cell(sd, 1),
+            cell(sd / mean * 100.0, 2),
+        ]);
+    }
+    println!("# residual spread under 'none' comes from per-run placement draws (worker/RSS shuffles)");
+}

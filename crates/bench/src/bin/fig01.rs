@@ -1,0 +1,89 @@
+//! Figure 1: CDF of the number of outstanding requests — open-loop vs
+//! closed-loop with 4/8/12 concurrent connections, at 80% utilisation.
+
+use std::collections::BTreeMap;
+
+use treadmill_bench::{banner, cell, row, BenchArgs, SATURATING_LOAD_RPS};
+use treadmill_cluster::{ClientSpec, ClusterBuilder, TrafficSource};
+use treadmill_core::{ClosedLoopSource, InterArrival, OpenLoopSource};
+
+fn outstanding_cdf(
+    sources: Vec<Box<dyn TrafficSource>>,
+    connections: u32,
+    args: &BenchArgs,
+) -> Vec<(u32, f64)> {
+    let mut builder = ClusterBuilder::new(treadmill_bench::memcached())
+        .seed(args.seed)
+        .duration(args.duration())
+        .sample_outstanding(true);
+    for source in sources {
+        builder = builder.client(
+            ClientSpec {
+                connections,
+                ..Default::default()
+            },
+            source,
+        );
+    }
+    let result = builder.run();
+    let warmup = treadmill_sim_core::SimTime::ZERO + args.warmup();
+    let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut total = 0u64;
+    for &(t, n) in &result.outstanding {
+        if t >= warmup {
+            *counts.entry(n).or_default() += 1;
+            total += 1;
+        }
+    }
+    let mut cumulative = 0u64;
+    counts
+        .into_iter()
+        .map(|(n, c)| {
+            cumulative += c;
+            (n, cumulative as f64 / total as f64)
+        })
+        .collect()
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 1",
+        "CDF of outstanding requests: open-loop vs closed-loop (4/8/12 connections) at 80% utilisation",
+        &args,
+    );
+    let mut series: Vec<(String, Vec<(u32, f64)>)> = Vec::new();
+    // Open loop: 8 lightly-utilised clients splitting 80% load, so the
+    // outstanding count reflects server queueing, not client backlog.
+    let open_sources: Vec<Box<dyn TrafficSource>> = (0..8)
+        .map(|_| -> Box<dyn TrafficSource> {
+            Box::new(OpenLoopSource::new(
+                InterArrival::Exponential {
+                    rate_rps: SATURATING_LOAD_RPS / 8.0,
+                },
+                16,
+            ))
+        })
+        .collect();
+    series.push((
+        "open-loop".to_string(),
+        outstanding_cdf(open_sources, 16, &args),
+    ));
+    for conns in [12u32, 8, 4] {
+        series.push((
+            format!("closed-loop-{conns}"),
+            outstanding_cdf(vec![Box::new(ClosedLoopSource::new(conns))], conns, &args),
+        ));
+    }
+    row(["series", "outstanding", "cdf"]);
+    for (name, points) in &series {
+        for &(n, f) in points {
+            row([name.clone(), n.to_string(), cell(f, 4)]);
+        }
+    }
+    // The headline comparison: max outstanding per series.
+    for (name, points) in &series {
+        let max = points.last().map(|&(n, _)| n).unwrap_or(0);
+        println!("# {name}: max outstanding = {max}");
+    }
+}

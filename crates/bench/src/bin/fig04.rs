@@ -1,0 +1,57 @@
+//! Figure 4: performance hysteresis — each run's p99 estimate converges
+//! with sample count, but different runs converge to different values.
+
+use treadmill_bench::{banner, cell, row, BenchArgs, HIGH_LOAD_RPS};
+use treadmill_core::LoadTest;
+use treadmill_stats::quantile::quantile_of_sorted;
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 4",
+        "p99 estimate vs sample count across 4 restarts of the same experiment",
+        &args,
+    );
+    // Use the interleaved-NUMA configuration: its allocator-dependent
+    // buffer placement is the strongest hysteresis source.
+    let test = LoadTest::new(treadmill_bench::memcached(), HIGH_LOAD_RPS)
+        .hardware(treadmill_cluster::HardwareConfig::from_index(1))
+        .clients(args.clients())
+        .duration(args.duration())
+        .warmup(args.warmup())
+        .seed(args.seed);
+    let mut traces: Vec<Vec<(usize, f64)>> = Vec::new();
+    let mut finals = Vec::new();
+    for run in 0..4u64 {
+        let report = test.run(run);
+        let mut samples = report.pooled_latencies();
+        // Keep delivery order semantics: progressive estimate over the
+        // stream, checkpointed every 2.5% of samples.
+        let checkpoints = 40usize;
+        let step = (samples.len() / checkpoints).max(1);
+        let mut trace = Vec::new();
+        let mut sorted: Vec<f64> = Vec::with_capacity(samples.len());
+        for (i, v) in samples.drain(..).enumerate() {
+            let pos = sorted.partition_point(|&x| x <= v);
+            sorted.insert(pos, v);
+            if (i + 1) % step == 0 {
+                trace.push((i + 1, quantile_of_sorted(&sorted, 0.99)));
+            }
+        }
+        finals.push(quantile_of_sorted(&sorted, 0.99));
+        traces.push(trace);
+    }
+    row(["run", "samples", "p99_us"]);
+    for (run, trace) in traces.iter().enumerate() {
+        for &(n, p99) in trace {
+            row([format!("run{run}"), n.to_string(), cell(p99, 1)]);
+        }
+    }
+    let avg: f64 = finals.iter().sum::<f64>() / finals.len() as f64;
+    for (run, value) in finals.iter().enumerate() {
+        println!(
+            "# run{run} converged to {value:.1}us ({:+.1}% vs average {avg:.1}us)",
+            (value / avg - 1.0) * 100.0
+        );
+    }
+}

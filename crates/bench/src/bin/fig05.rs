@@ -1,0 +1,54 @@
+//! Figure 5: latency distributions measured by CloudSuite, Mutilate and
+//! Treadmill at 10% server utilisation, against tcpdump ground truth.
+
+use treadmill_baselines::{cloudsuite, mutilate, run_profile, treadmill_shape};
+use treadmill_bench::{banner, cell, memcached, row, BenchArgs, LOW_LOAD_RPS};
+use treadmill_cluster::HardwareConfig;
+use treadmill_stats::quantile::quantile;
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 5",
+        "Measured latency CDFs vs tcpdump at 10% utilisation (100k RPS)",
+        &args,
+    );
+    row(["series", "latency_us", "cdf"]);
+    for profile in [cloudsuite(), mutilate(), treadmill_shape()] {
+        let report = run_profile(
+            &profile,
+            memcached(),
+            LOW_LOAD_RPS,
+            HardwareConfig::default(),
+            args.duration(),
+            args.warmup(),
+            args.seed,
+        );
+        let mut measured = report.measured_latencies_us.clone();
+        measured.sort_by(f64::total_cmp);
+        let stride = (measured.len() / 60).max(1);
+        for (i, &v) in measured.iter().enumerate().step_by(stride) {
+            row([
+                profile.name.to_string(),
+                cell(v, 1),
+                cell((i + 1) as f64 / measured.len() as f64, 4),
+            ]);
+        }
+        for (i, &(v, f)) in report
+            .ground_truth
+            .cdf_points(60)
+            .iter()
+            .enumerate()
+        {
+            let _ = i;
+            row([format!("tcpdump@{}", profile.name), cell(v, 1), cell(f, 4)]);
+        }
+        let measured_p99 = quantile(&report.measured_latencies_us, 0.99);
+        let truth_p99 = report.ground_truth.quantile_us(0.99);
+        println!(
+            "# {}: measured p99 = {measured_p99:.1}us, tcpdump p99 = {truth_p99:.1}us, error = {:+.1}us",
+            profile.name,
+            measured_p99 - truth_p99
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 7: estimated Memcached latency for all 16 hardware
+//! configurations at the 50/90/95/99th percentiles, under low and high
+//! load, from the fitted quantile-regression models.
+
+use treadmill_bench::{
+    banner, cell, collect_dataset, memcached, row, BenchArgs, FIGURE_PERCENTILES,
+    HIGH_LOAD_RPS, LOW_LOAD_RPS,
+};
+use treadmill_cluster::HardwareConfig;
+use treadmill_inference::attribute;
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 7",
+        "Estimated Memcached latency per configuration (quantile-regression model)",
+        &args,
+    );
+    row(["load", "percentile", "config", "label", "latency_us"]);
+    for (load, rps) in [("low", LOW_LOAD_RPS), ("high", HIGH_LOAD_RPS)] {
+        eprintln!("# collecting {load}-load dataset ...");
+        let dataset = collect_dataset(&args, memcached(), rps);
+        for &tau in &FIGURE_PERCENTILES {
+            let model = attribute(&dataset, tau, args.bootstrap_replicates(), args.seed);
+            for (i, pred) in model.predictions_all_configs().into_iter().enumerate() {
+                row([
+                    load.to_string(),
+                    format!("p{}", (tau * 100.0).round()),
+                    i.to_string(),
+                    HardwareConfig::from_index(i).to_string(),
+                    cell(pred, 1),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Figure 8: average latency impact of turning each factor to its high
+//! level, for Memcached, at low and high load.
+
+use treadmill_bench::{
+    banner, cell, collect_dataset, memcached, row, BenchArgs, FIGURE_PERCENTILES,
+    HIGH_LOAD_RPS, LOW_LOAD_RPS,
+};
+use treadmill_inference::{attribute, average_factor_impacts};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 8",
+        "Average per-factor latency impact for Memcached (negative = improvement)",
+        &args,
+    );
+    row(["load", "percentile", "factor", "impact_us"]);
+    for (load, rps) in [("low", LOW_LOAD_RPS), ("high", HIGH_LOAD_RPS)] {
+        eprintln!("# collecting {load}-load dataset ...");
+        let dataset = collect_dataset(&args, memcached(), rps);
+        for &tau in &FIGURE_PERCENTILES {
+            let model = attribute(&dataset, tau, args.bootstrap_replicates(), args.seed);
+            for impact in average_factor_impacts(&model) {
+                row([
+                    load.to_string(),
+                    format!("p{}", (tau * 100.0).round()),
+                    impact.factor.to_string(),
+                    cell(impact.average_impact_us, 1),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 9: estimated mcrouter latency for all 16 hardware
+//! configurations (the mcrouter counterpart of Figure 7).
+
+use treadmill_bench::{
+    banner, cell, collect_dataset, mcrouter, row, BenchArgs, FIGURE_PERCENTILES,
+    HIGH_LOAD_RPS, LOW_LOAD_RPS,
+};
+use treadmill_cluster::HardwareConfig;
+use treadmill_inference::attribute;
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 9",
+        "Estimated mcrouter latency per configuration (quantile-regression model)",
+        &args,
+    );
+    row(["load", "percentile", "config", "label", "latency_us"]);
+    for (load, rps) in [("low", LOW_LOAD_RPS), ("high", HIGH_LOAD_RPS)] {
+        eprintln!("# collecting {load}-load dataset ...");
+        let dataset = collect_dataset(&args, mcrouter(), rps);
+        for &tau in &FIGURE_PERCENTILES {
+            let model = attribute(&dataset, tau, args.bootstrap_replicates(), args.seed);
+            for (i, pred) in model.predictions_all_configs().into_iter().enumerate() {
+                row([
+                    load.to_string(),
+                    format!("p{}", (tau * 100.0).round()),
+                    i.to_string(),
+                    HardwareConfig::from_index(i).to_string(),
+                    cell(pred, 1),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 10: average per-factor latency impact for mcrouter (the
+//! mcrouter counterpart of Figure 8; Finding 8 expects turbo to help
+//! most at low load).
+
+use treadmill_bench::{
+    banner, cell, collect_dataset, mcrouter, row, BenchArgs, FIGURE_PERCENTILES,
+    HIGH_LOAD_RPS, LOW_LOAD_RPS,
+};
+use treadmill_inference::{attribute, average_factor_impacts};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 10",
+        "Average per-factor latency impact for mcrouter (negative = improvement)",
+        &args,
+    );
+    row(["load", "percentile", "factor", "impact_us"]);
+    for (load, rps) in [("low", LOW_LOAD_RPS), ("high", HIGH_LOAD_RPS)] {
+        eprintln!("# collecting {load}-load dataset ...");
+        let dataset = collect_dataset(&args, mcrouter(), rps);
+        for &tau in &FIGURE_PERCENTILES {
+            let model = attribute(&dataset, tau, args.bootstrap_replicates(), args.seed);
+            for impact in average_factor_impacts(&model) {
+                row([
+                    load.to_string(),
+                    format!("p{}", (tau * 100.0).round()),
+                    impact.factor.to_string(),
+                    cell(impact.average_impact_us, 1),
+                ]);
+            }
+        }
+    }
+}

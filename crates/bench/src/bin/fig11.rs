@@ -1,0 +1,35 @@
+//! Figure 11: pseudo-R² of the quantile-regression models at various
+//! load levels and percentiles (the paper reports ≥0.90 everywhere).
+
+use treadmill_bench::{
+    banner, cell, collect_dataset, mcrouter, memcached, row, BenchArgs,
+    FIGURE_PERCENTILES, HIGH_LOAD_RPS, LOW_LOAD_RPS,
+};
+use treadmill_inference::{attribute, model_pseudo_r_squared};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 11",
+        "Pseudo-R² (Eq. 2) of the fitted models per workload, load level and percentile",
+        &args,
+    );
+    row(["workload", "load", "percentile", "pseudo_r2"]);
+    for (name, workload) in [("memcached", memcached()), ("mcrouter", mcrouter())] {
+        for (load, rps) in [("low", LOW_LOAD_RPS), ("high", HIGH_LOAD_RPS)] {
+            eprintln!("# collecting {name} {load}-load dataset ...");
+            let dataset = collect_dataset(&args, workload.clone(), rps);
+            for &tau in &FIGURE_PERCENTILES {
+                let model =
+                    attribute(&dataset, tau, args.bootstrap_replicates(), args.seed);
+                let r2 = model_pseudo_r_squared(&dataset, &model);
+                row([
+                    name.to_string(),
+                    load.to_string(),
+                    format!("p{}", (tau * 100.0).round()),
+                    cell(r2, 3),
+                ]);
+            }
+        }
+    }
+}

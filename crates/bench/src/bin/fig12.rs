@@ -1,0 +1,65 @@
+//! Figure 12: tail-latency improvement from tuning the hardware
+//! configuration as the attribution recommends — "before" runs random
+//! configurations, "after" pins the recommended one. The paper reports
+//! p99 −43% and p99 standard deviation −93%.
+
+use treadmill_bench::{
+    banner, cell, collect_dataset, memcached, row, BenchArgs, HIGH_LOAD_RPS,
+};
+use treadmill_inference::{attribute, validate, TuningPlan};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Figure 12",
+        "Before/after tuning: 99th-percentile latency and its spread",
+        &args,
+    );
+    eprintln!("# fitting the p99 model ...");
+    let dataset = collect_dataset(&args, memcached(), HIGH_LOAD_RPS);
+    let model = attribute(&dataset, 0.99, args.bootstrap_replicates(), args.seed);
+    let recommended = model.best_config();
+    println!("# recommended configuration: {recommended}");
+
+    let plan = TuningPlan {
+        experiments: args.tuning_experiments(),
+        clients: args.clients(),
+        duration: args.duration(),
+        warmup: args.warmup(),
+        seed: args.seed,
+        ..TuningPlan::new(memcached(), HIGH_LOAD_RPS)
+    };
+    eprintln!("# validating with {} experiments per arm ...", plan.experiments);
+    let outcome = validate(&plan, recommended);
+
+    row(["arm", "experiment", "p50_us", "p99_us"]);
+    for (i, (p50, p99)) in outcome
+        .before
+        .p50s
+        .iter()
+        .zip(&outcome.before.p99s)
+        .enumerate()
+    {
+        row(["before".to_string(), i.to_string(), cell(*p50, 1), cell(*p99, 1)]);
+    }
+    for (i, (p50, p99)) in outcome
+        .after
+        .p50s
+        .iter()
+        .zip(&outcome.after.p99s)
+        .enumerate()
+    {
+        row(["after".to_string(), i.to_string(), cell(*p50, 1), cell(*p99, 1)]);
+    }
+    let (b_mean, b_sd) = outcome.before.p99_stats();
+    let (a_mean, a_sd) = outcome.after.p99_stats();
+    let (b50, b50sd) = outcome.before.p50_stats();
+    let (a50, a50sd) = outcome.after.p50_stats();
+    println!("# p50: {b50:.1}±{b50sd:.1}us → {a50:.1}±{a50sd:.1}us");
+    println!("# p99: {b_mean:.1}±{b_sd:.1}us → {a_mean:.1}±{a_sd:.1}us");
+    println!(
+        "# p99 reduced {:.0}%, p99 stddev reduced {:.0}% (paper: 43% and 93%)",
+        outcome.p99_reduction() * 100.0,
+        outcome.p99_stddev_reduction() * 100.0
+    );
+}

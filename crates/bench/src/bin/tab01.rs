@@ -1,0 +1,26 @@
+//! Table I: summary of load-tester features.
+
+use treadmill_baselines::feature_table;
+use treadmill_bench::{banner, row, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner("Table I", "Summary of load tester features", &args);
+    let table = feature_table();
+    let mark = |b: bool| if b { "yes" } else { "-" };
+    row(["Requirement"]
+        .into_iter()
+        .chain(table.iter().map(|r| r.name)));
+    let rows: [(&str, fn(&treadmill_baselines::FeatureSupport) -> bool); 5] = [
+        ("Query Interarrival Generation", |s| s.query_interarrival),
+        ("Statistical Aggregation", |s| s.statistical_aggregation),
+        ("Client-side Queueing Bias", |s| s.client_side_queueing),
+        ("Performance Hysteresis", |s| s.performance_hysteresis),
+        ("Generality", |s| s.generality),
+    ];
+    for (label, get) in rows {
+        row([label.to_string()]
+            .into_iter()
+            .chain(table.iter().map(|r| mark(get(&r.support)).to_string())));
+    }
+}

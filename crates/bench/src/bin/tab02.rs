@@ -1,0 +1,15 @@
+//! Table II: hardware specification of the (simulated) system under
+//! test.
+
+use treadmill_bench::{banner, row, BenchArgs};
+use treadmill_cluster::spec::system_under_test;
+use treadmill_cluster::{NetworkSpec, ServerSpec};
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner("Table II", "Hardware specification of the system under test", &args);
+    row(["Item", "Specification"]);
+    for entry in system_under_test(&ServerSpec::default(), &NetworkSpec::default()) {
+        row([entry.item.to_string(), entry.value]);
+    }
+}

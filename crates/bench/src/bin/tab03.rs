@@ -1,0 +1,18 @@
+//! Table III: quantile regression factors.
+
+use treadmill_bench::{banner, row, BenchArgs};
+use treadmill_inference::factor_table;
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner("Table III", "Quantile regression factors", &args);
+    row(["Factor", "Low-Level", "High-Level", "Description"]);
+    for factor in factor_table() {
+        row([
+            factor.name,
+            factor.low_label,
+            factor.high_label,
+            factor.description,
+        ]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Table IV: quantile-regression coefficients for Memcached at high
+//! utilisation — estimate, bootstrap standard error and p-value at the
+//! 50th/95th/99th percentiles for every factor and interaction.
+
+use treadmill_bench::{banner, cell, collect_dataset, memcached, row, BenchArgs, HIGH_LOAD_RPS};
+use treadmill_inference::attribution_table;
+
+fn main() {
+    let args = BenchArgs::parse();
+    banner(
+        "Table IV",
+        "Quantile regression for Memcached at high utilisation",
+        &args,
+    );
+    eprintln!(
+        "# collecting {} experiments ...",
+        16 * args.runs_per_config()
+    );
+    let dataset = collect_dataset(&args, memcached(), HIGH_LOAD_RPS);
+    let results = attribution_table(&dataset, args.bootstrap_replicates(), args.seed);
+
+    let mut header = vec!["Factor".to_string()];
+    for result in &results {
+        let pct = (result.tau * 100.0).round();
+        header.push(format!("p{pct}-Est(us)"));
+        header.push(format!("p{pct}-StdErr"));
+        header.push(format!("p{pct}-p-value"));
+    }
+    row(header);
+    let terms = results[0].coefficients.len();
+    for t in 0..terms {
+        let mut fields = vec![results[0].coefficients[t].term.clone()];
+        for result in &results {
+            let c = &result.coefficients[t];
+            fields.push(cell(c.estimate, 1));
+            fields.push(cell(c.std_error, 1));
+            let sig = if c.p_value < 0.05 { "*" } else { "" };
+            fields.push(format!("{:.2e}{sig}", c.p_value));
+        }
+        row(fields);
+    }
+    println!("# '*' marks p < 0.05 (bold rows in the paper)");
+}

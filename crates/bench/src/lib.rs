@@ -1,0 +1,217 @@
+//! Shared harness for the table/figure regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper and prints it as aligned TSV to stdout. All binaries accept:
+//!
+//! * `--seed <u64>` — master seed (default 2016, the paper's year);
+//! * `--quick` — a fast, reduced-scale run for smoke testing;
+//! * `--paper` — full paper-scale parameters (30 runs per
+//!   configuration, 20k samples each, 100-experiment tuning arms).
+//!
+//! Without a flag, a medium scale is used that preserves every
+//! qualitative result while finishing in minutes on a laptop.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use treadmill_sim_core::SimDuration;
+use treadmill_workloads::Workload;
+
+/// How much work a binary should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test scale (seconds).
+    Quick,
+    /// Default scale (a couple of minutes).
+    Default,
+    /// Full paper-scale parameters.
+    Paper,
+}
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchArgs {
+    /// Master seed.
+    pub seed: u64,
+    /// Work scale.
+    pub scale: Scale,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on unknown arguments.
+    pub fn parse() -> Self {
+        let mut args = BenchArgs {
+            seed: 2016,
+            scale: Scale::Default,
+        };
+        let mut iter = std::env::args().skip(1);
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--quick" => args.scale = Scale::Quick,
+                "--paper" => args.scale = Scale::Paper,
+                "--seed" => {
+                    let value = iter.next().expect("--seed needs a value");
+                    args.seed = value.parse().expect("--seed must be a u64");
+                }
+                other => panic!("unknown argument {other}; expected --quick/--paper/--seed N"),
+            }
+        }
+        args
+    }
+
+    /// Independent experiments per factorial cell.
+    pub fn runs_per_config(&self) -> usize {
+        match self.scale {
+            Scale::Quick => 3,
+            Scale::Default => 8,
+            Scale::Paper => 30,
+        }
+    }
+
+    /// Latency samples retained per experiment.
+    pub fn samples_per_run(&self) -> usize {
+        match self.scale {
+            Scale::Quick => 2_000,
+            Scale::Default => 10_000,
+            Scale::Paper => 20_000,
+        }
+    }
+
+    /// Sending window per experiment.
+    pub fn duration(&self) -> SimDuration {
+        match self.scale {
+            Scale::Quick => SimDuration::from_millis(150),
+            Scale::Default => SimDuration::from_millis(400),
+            Scale::Paper => SimDuration::from_millis(800),
+        }
+    }
+
+    /// Warm-up window.
+    pub fn warmup(&self) -> SimDuration {
+        match self.scale {
+            Scale::Quick => SimDuration::from_millis(50),
+            Scale::Default => SimDuration::from_millis(100),
+            Scale::Paper => SimDuration::from_millis(150),
+        }
+    }
+
+    /// Treadmill instances per experiment.
+    pub fn clients(&self) -> usize {
+        match self.scale {
+            Scale::Quick => 4,
+            _ => 8,
+        }
+    }
+
+    /// Bootstrap replicates for coefficient standard errors.
+    pub fn bootstrap_replicates(&self) -> usize {
+        match self.scale {
+            Scale::Quick => 50,
+            Scale::Default => 200,
+            Scale::Paper => 500,
+        }
+    }
+
+    /// Experiments per arm in the tuning validation (Figure 12).
+    pub fn tuning_experiments(&self) -> usize {
+        match self.scale {
+            Scale::Quick => 10,
+            Scale::Default => 40,
+            Scale::Paper => 100,
+        }
+    }
+}
+
+/// The two load points used throughout the evaluation, as fractions of
+/// the ~1M RPS server capacity: "low" ≈ 10% utilisation, "high" ≈ 70%.
+pub const LOW_LOAD_RPS: f64 = 100_000.0;
+/// See [`LOW_LOAD_RPS`].
+pub const HIGH_LOAD_RPS: f64 = 750_000.0;
+/// The 80%-utilisation point of Figure 6.
+pub const SATURATING_LOAD_RPS: f64 = 950_000.0;
+
+/// The percentiles reported in Figures 7–10.
+pub const FIGURE_PERCENTILES: [f64; 4] = [0.50, 0.90, 0.95, 0.99];
+
+/// Builds the default Memcached workload.
+pub fn memcached() -> Arc<dyn Workload> {
+    Arc::new(treadmill_workloads::Memcached::default())
+}
+
+/// Builds the default mcrouter workload.
+pub fn mcrouter() -> Arc<dyn Workload> {
+    Arc::new(treadmill_workloads::Mcrouter::default())
+}
+
+/// Collects a factorial dataset at the given load using the args'
+/// scale parameters.
+pub fn collect_dataset(
+    args: &BenchArgs,
+    workload: Arc<dyn Workload>,
+    target_rps: f64,
+) -> treadmill_inference::Dataset {
+    let mut plan = treadmill_inference::CollectionPlan::new(workload, target_rps);
+    plan.runs_per_config = args.runs_per_config();
+    plan.samples_per_run = args.samples_per_run();
+    plan.clients = args.clients();
+    plan.duration = args.duration();
+    plan.warmup = args.warmup();
+    plan.seed = args.seed;
+    treadmill_inference::collect(&plan)
+}
+
+/// Prints a figure/table banner.
+pub fn banner(id: &str, caption: &str, args: &BenchArgs) {
+    println!("# {id}: {caption}");
+    println!("# seed={} scale={:?}", args.seed, args.scale);
+}
+
+/// Formats an f64 with fixed precision for table cells.
+pub fn cell(value: f64, precision: usize) -> String {
+    format!("{value:.precision$}")
+}
+
+/// Prints one TSV row.
+pub fn row<S: AsRef<str>>(fields: impl IntoIterator<Item = S>) {
+    let joined: Vec<String> = fields.into_iter().map(|f| f.as_ref().to_string()).collect();
+    println!("{}", joined.join("\t"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_order_work() {
+        let quick = BenchArgs {
+            seed: 1,
+            scale: Scale::Quick,
+        };
+        let paper = BenchArgs {
+            seed: 1,
+            scale: Scale::Paper,
+        };
+        assert!(quick.runs_per_config() < paper.runs_per_config());
+        assert!(quick.samples_per_run() < paper.samples_per_run());
+        assert!(quick.duration() < paper.duration());
+        assert!(quick.tuning_experiments() < paper.tuning_experiments());
+    }
+
+    #[test]
+    fn cell_formats() {
+        assert_eq!(cell(3.14159, 2), "3.14");
+        assert_eq!(cell(-1.0, 0), "-1");
+    }
+
+    #[test]
+    fn workloads_build() {
+        assert_eq!(memcached().name(), "memcached");
+        assert_eq!(mcrouter().name(), "mcrouter");
+    }
+}

@@ -1,0 +1,146 @@
+//! The simulated client (load-tester) machine.
+//!
+//! A client machine is where load-tester *implementation quality* shows
+//! up in measurements (§II-C): every send and every response callback
+//! consumes client CPU, modelled as an analytic FIFO queue. An efficient
+//! tester (Treadmill's lock-free design) keeps per-op cost low; a heavy
+//! single-client tester saturates its own CPU long before the server
+//! does, and the resulting client-side queueing contaminates the
+//! latency it reports.
+
+use rand::rngs::SmallRng;
+
+use treadmill_sim_core::{RateQueue, SimDuration, SimTime};
+
+use crate::config::ClientSpec;
+use crate::request::ResponseRecord;
+use crate::source::TrafficSource;
+
+/// One client machine hosting a load-tester instance.
+#[derive(Debug)]
+pub struct ClientMachine {
+    /// Machine parameters.
+    pub spec: ClientSpec,
+    /// The load tester's send-timing logic.
+    pub source: Box<dyn TrafficSource>,
+    /// Deterministic per-client RNG stream.
+    pub rng: SmallRng,
+    cpu: RateQueue,
+    /// Completed-request records, in delivery order.
+    pub records: Vec<ResponseRecord>,
+    sent: u64,
+}
+
+impl ClientMachine {
+    /// Creates an idle client machine.
+    pub fn new(spec: ClientSpec, source: Box<dyn TrafficSource>, rng: SmallRng) -> Self {
+        ClientMachine {
+            spec,
+            source,
+            rng,
+            cpu: RateQueue::new("client-cpu"),
+            records: Vec::new(),
+            sent: 0,
+        }
+    }
+
+    /// Runs the user-space send path at `now`: queues on the client CPU
+    /// and returns when the packet reaches the NIC (after the fixed
+    /// kernel TX cost).
+    pub fn tx_ready_at(&mut self, now: SimTime) -> SimTime {
+        self.sent += 1;
+        let cpu_done = self
+            .cpu
+            .offer(now, SimDuration::from_nanos_f64(self.spec.send_cpu_ns))
+            .departure;
+        cpu_done + self.spec.kernel_tx
+    }
+
+    /// Runs the user-space receive path for a packet that finished
+    /// kernel RX processing at `now`: queues the response callback on
+    /// the client CPU and returns when the load tester observes it.
+    pub fn rx_delivered_at(&mut self, now: SimTime) -> SimTime {
+        self.cpu
+            .offer(now, SimDuration::from_nanos_f64(self.spec.recv_cpu_ns))
+            .departure
+    }
+
+    /// Requests sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Client CPU utilisation over `[0, now]`.
+    pub fn cpu_utilization(&self, now: SimTime) -> f64 {
+        self.cpu.utilization(now)
+    }
+
+    /// Mean client-CPU queueing delay per operation, µs (diagnostics —
+    /// this is the §II-C bias in the flesh).
+    pub fn mean_cpu_queueing_us(&self) -> f64 {
+        self.cpu.mean_queueing_micros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::PoissonSource;
+    use rand::SeedableRng;
+
+    fn machine(send_ns: f64, recv_ns: f64) -> ClientMachine {
+        ClientMachine::new(
+            ClientSpec {
+                send_cpu_ns: send_ns,
+                recv_cpu_ns: recv_ns,
+                ..Default::default()
+            },
+            Box::new(PoissonSource::new(1000.0, 1)),
+            SmallRng::seed_from_u64(1),
+        )
+    }
+
+    #[test]
+    fn tx_includes_kernel_cost() {
+        let mut m = machine(800.0, 800.0);
+        let ready = m.tx_ready_at(SimTime::from_micros(10));
+        // 0.8us cpu + 12us kernel tx.
+        assert_eq!(ready, SimTime::from_nanos(10_000 + 800 + 12_000));
+        assert_eq!(m.sent(), 1);
+    }
+
+    #[test]
+    fn heavy_client_queues_on_its_own_cpu() {
+        let mut m = machine(4_000.0, 4_000.0);
+        // 10 sends in the same microsecond: each queues behind the last.
+        let mut last = SimTime::ZERO;
+        for _ in 0..10 {
+            let ready = m.tx_ready_at(SimTime::from_micros(1));
+            assert!(ready > last);
+            last = ready;
+        }
+        // 10 × 4us = 40us of CPU; the last send waited ~36us.
+        assert!(last >= SimTime::from_nanos(1_000 + 40_000 + 12_000));
+        assert!(m.mean_cpu_queueing_us() > 10.0);
+    }
+
+    #[test]
+    fn rx_and_tx_share_the_cpu() {
+        let mut m = machine(4_000.0, 4_000.0);
+        let tx = m.tx_ready_at(SimTime::from_micros(1));
+        // An RX callback entering right after the send queues behind it.
+        let rx = m.rx_delivered_at(SimTime::from_micros(2));
+        assert!(rx > SimTime::from_micros(2) + SimDuration::from_nanos(4_000));
+        let _ = tx;
+    }
+
+    #[test]
+    fn light_client_has_negligible_queueing() {
+        let mut m = machine(800.0, 800.0);
+        for i in 0..100 {
+            let _ = m.tx_ready_at(SimTime::from_micros(i * 100));
+        }
+        assert!(m.mean_cpu_queueing_us() < 0.01);
+        assert!(m.cpu_utilization(SimTime::from_millis(10)) < 0.05);
+    }
+}

@@ -1,0 +1,60 @@
+//! A deterministic discrete-event datacenter simulator: the substrate
+//! that stands in for the Treadmill paper's production testbed.
+//!
+//! The paper evaluates load testers and attributes tail latency on real
+//! Facebook hardware — dual-socket Xeon servers with Turbo Boost, DVFS
+//! governors, NUMA memory policies and RSS NIC steering, driven by
+//! racks of client machines over 10 GbE, with tcpdump as ground truth.
+//! This crate simulates that entire environment:
+//!
+//! * [`Server`](server::Server) — 16 cores on 2 sockets with per-core
+//!   run queues, a DVFS governor, a turbo/thermal model, NUMA-sensitive
+//!   service times, and RSS interrupt steering;
+//! * [`Network`] — rate-limited links with rack-distance propagation;
+//! * [`ClientMachine`] — load-tester hosts whose own CPU queueing is
+//!   part of the model (pitfall §II-C);
+//! * [`RunState`] — per-run placement state, the cause of performance
+//!   hysteresis (pitfall §II-D);
+//! * [`PacketCapture`] — the tcpdump-equivalent NIC-level ground truth;
+//! * [`ClusterBuilder`] / [`RunResult`] — the run harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use treadmill_cluster::{ClusterBuilder, ClientSpec, PoissonSource};
+//! use treadmill_sim_core::SimDuration;
+//! use treadmill_workloads::Memcached;
+//!
+//! let result = ClusterBuilder::new(Arc::new(Memcached::default()))
+//!     .seed(1)
+//!     .client(ClientSpec::default(), Box::new(PoissonSource::new(100_000.0, 16)))
+//!     .duration(SimDuration::from_millis(20))
+//!     .run();
+//! assert!(result.total_responses() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capture;
+mod client;
+mod config;
+mod hysteresis;
+mod network;
+mod request;
+pub mod server;
+mod source;
+pub mod spec;
+mod trace;
+mod world;
+
+pub use capture::{CapturedPair, PacketCapture};
+pub use client::ClientMachine;
+pub use config::{ClientSpec, HardwareConfig, HysteresisSpec, Level, NetworkSpec, ServerSpec};
+pub use hysteresis::{ConnectionState, RunState};
+pub use network::Network;
+pub use request::{Request, RequestId, ResponseRecord};
+pub use source::{PoissonSource, SendOrder, TrafficSource};
+pub use trace::TraceSource;
+pub use world::{ClusterBuilder, ClusterWorld, CoreStats, Event, RunResult};

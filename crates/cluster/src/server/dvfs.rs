@@ -1,0 +1,113 @@
+//! DVFS governor models (Table III: `ondemand` vs `performance`).
+
+use crate::config::Level;
+
+/// Width of a discrete DVFS frequency step, in GHz. Real P-state tables
+/// step in 100 MHz increments.
+pub const FREQ_STEP_GHZ: f64 = 0.1;
+
+/// Computes the frequency a governor targets for a core, given the
+/// core's utilisation over the last sampling window.
+///
+/// * `performance` (high level) always targets the maximum available
+///   frequency (which includes turbo headroom when Turbo Boost is on).
+/// * `ondemand` (low level) jumps to the maximum when window utilisation
+///   exceeds `up_threshold`, and otherwise scales the frequency
+///   proportionally between `min_ghz` and the maximum — the classic
+///   Linux `ondemand` policy. The proportional region is what causes
+///   requests at low load to execute at reduced frequency (the paper's
+///   Finding 3).
+///
+/// The result is quantised to [`FREQ_STEP_GHZ`] steps so that governor
+/// decisions produce discrete frequency *transitions* (each of which
+/// stalls the core briefly).
+///
+/// # Panics
+///
+/// Panics if `min_ghz > max_available_ghz`.
+pub fn governor_target(
+    governor: Level,
+    window_util: f64,
+    min_ghz: f64,
+    max_available_ghz: f64,
+    up_threshold: f64,
+) -> f64 {
+    assert!(
+        min_ghz <= max_available_ghz,
+        "min frequency {min_ghz} exceeds available max {max_available_ghz}"
+    );
+    let target = match governor {
+        Level::High => max_available_ghz, // performance
+        Level::Low => {
+            // ondemand
+            let util = window_util.clamp(0.0, 1.0);
+            if util >= up_threshold {
+                max_available_ghz
+            } else {
+                min_ghz + (max_available_ghz - min_ghz) * (util / up_threshold)
+            }
+        }
+    };
+    quantize(target, min_ghz, max_available_ghz)
+}
+
+fn quantize(ghz: f64, min_ghz: f64, max_ghz: f64) -> f64 {
+    // Round in deci-GHz integer space to avoid float-step residue
+    // (12 × 0.1 ≠ 1.2 in binary floating point).
+    let stepped = (ghz * 10.0).round() / 10.0;
+    stepped.clamp(min_ghz, max_ghz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn performance_always_max() {
+        for util in [0.0, 0.3, 0.99] {
+            assert_eq!(governor_target(Level::High, util, 1.2, 3.0, 0.6), 3.0);
+        }
+    }
+
+    #[test]
+    fn ondemand_jumps_at_threshold() {
+        assert_eq!(governor_target(Level::Low, 0.7, 1.2, 2.2, 0.6), 2.2);
+        assert_eq!(governor_target(Level::Low, 0.6, 1.2, 2.2, 0.6), 2.2);
+    }
+
+    #[test]
+    fn ondemand_scales_proportionally_below_threshold() {
+        let at_zero = governor_target(Level::Low, 0.0, 1.2, 2.2, 0.6);
+        let at_half = governor_target(Level::Low, 0.3, 1.2, 2.2, 0.6);
+        assert_eq!(at_zero, 1.2);
+        // Halfway to threshold: min + (max-min)/2 = 1.7.
+        assert!((at_half - 1.7).abs() < FREQ_STEP_GHZ / 2.0 + 1e-12);
+        assert!(at_half > at_zero);
+    }
+
+    #[test]
+    fn quantised_to_steps() {
+        let f = governor_target(Level::Low, 0.17, 1.2, 2.2, 0.6);
+        let steps = f / FREQ_STEP_GHZ;
+        assert!((steps - steps.round()).abs() < 1e-9, "freq {f} not on a step");
+    }
+
+    #[test]
+    fn ondemand_respects_turbo_ceiling() {
+        // With turbo available the max rises; ondemand at high util
+        // should use it.
+        assert_eq!(governor_target(Level::Low, 0.9, 1.2, 3.0, 0.6), 3.0);
+    }
+
+    #[test]
+    fn util_clamped() {
+        assert_eq!(governor_target(Level::Low, 7.0, 1.2, 2.2, 0.6), 2.2);
+        assert_eq!(governor_target(Level::Low, -1.0, 1.2, 2.2, 0.6), 1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn inverted_range_rejected() {
+        governor_target(Level::Low, 0.5, 3.0, 2.0, 0.6);
+    }
+}

@@ -1,0 +1,878 @@
+//! The cluster world: event definitions, the request lifecycle state
+//! machine, and the run harness.
+//!
+//! A request's life (all stamps land on [`crate::Request`]):
+//!
+//! ```text
+//! SendFire ─(client CPU + kernel TX)→ ClientTxNic ─(uplink + prop)→
+//! ServerNicArrive ─(NIC ingress)→ CoreEnqueue(Irq) → CoreJobDone(Irq) →
+//! CoreEnqueue(Work) → CoreJobDone(Work) ─(egress + prop)→
+//! ClientNicArrive ─(downlink + kernel RX)→ ClientRxUser ─(client CPU)→
+//! Delivered
+//! ```
+//!
+//! Governor and thermal ticks run alongside and reshape core
+//! frequencies, which changes service durations computed at dispatch.
+
+use std::sync::Arc;
+
+use treadmill_sim_core::{Engine, EventQueue, SeedStream, SimDuration, SimTime, World};
+use treadmill_workloads::Workload;
+
+use crate::client::ClientMachine;
+use crate::config::{ClientSpec, HardwareConfig, NetworkSpec, ServerSpec};
+use crate::hysteresis::RunState;
+use crate::network::Network;
+use crate::request::{Request, RequestId, ResponseRecord};
+use crate::server::core::CoreJob;
+use crate::server::Server;
+
+/// Per-core diagnostic snapshot taken at the end of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreStats {
+    /// Core id.
+    pub core: u8,
+    /// Socket the core belongs to.
+    pub socket: u8,
+    /// Utilisation over the sending window.
+    pub utilization: f64,
+    /// Frequency at the end of the run, GHz.
+    pub final_freq_ghz: f64,
+    /// Jobs (IRQ + work + stalls) completed.
+    pub jobs_done: u64,
+    /// DVFS transitions performed.
+    pub transitions: u64,
+}
+use crate::source::{SendOrder, TrafficSource};
+
+/// The event alphabet of the cluster simulation.
+#[derive(Debug)]
+pub enum Event {
+    /// The load tester on `client` initiates a send on `conn`.
+    SendFire {
+        /// Client index.
+        client: u32,
+        /// Connection index within the client.
+        conn: u32,
+    },
+    /// The request has cleared client CPU + kernel TX; enter the uplink.
+    ClientTxNic(Request),
+    /// The request packet reached the server NIC.
+    ServerNicArrive(Request),
+    /// A job lands on a core's run queue.
+    CoreEnqueue {
+        /// Target core.
+        core: usize,
+        /// The job.
+        job: CoreJob,
+    },
+    /// A core finished its in-flight job.
+    CoreJobDone {
+        /// The core.
+        core: usize,
+        /// When the job started executing.
+        start: SimTime,
+        /// The completed job.
+        job: CoreJob,
+    },
+    /// The response packet reached the client NIC.
+    ClientNicArrive(Request),
+    /// The response cleared kernel RX; enter the client CPU for the
+    /// user-space callback.
+    ClientRxUser(Request),
+    /// The load tester observed the response.
+    Delivered(Request),
+    /// DVFS governor sampling tick.
+    GovernorTick,
+    /// Package thermal-model tick.
+    ThermalTick,
+}
+
+/// The complete simulated cluster (implements [`World`]).
+#[derive(Debug)]
+pub struct ClusterWorld {
+    workload: Arc<dyn Workload>,
+    /// The server under test.
+    pub server: Server,
+    /// The network fabric.
+    pub network: Network,
+    /// Client machines, in builder order.
+    pub clients: Vec<ClientMachine>,
+    run_state: RunState,
+    stop_sending_at: SimTime,
+    next_id: u64,
+    outstanding: u32,
+    outstanding_samples: Vec<(SimTime, u32)>,
+    sample_outstanding: bool,
+}
+
+impl ClusterWorld {
+    /// The per-run placement state (diagnostics).
+    pub fn run_state(&self) -> &RunState {
+        &self.run_state
+    }
+
+    /// Requests currently in flight.
+    pub fn outstanding(&self) -> u32 {
+        self.outstanding
+    }
+
+    fn collect_start_orders(&mut self, now: SimTime) -> Vec<(u32, SendOrder)> {
+        let mut orders = Vec::new();
+        for (i, client) in self.clients.iter_mut().enumerate() {
+            for order in client.source.start(now, &mut client.rng) {
+                orders.push((i as u32, order));
+            }
+        }
+        orders
+    }
+
+    fn maybe_schedule_send(
+        &self,
+        client: u32,
+        order: SendOrder,
+        queue: &mut EventQueue<Event>,
+    ) {
+        if order.at <= self.stop_sending_at {
+            queue.schedule(
+                order.at,
+                Event::SendFire {
+                    client,
+                    conn: order.conn,
+                },
+            );
+        }
+    }
+
+    fn dispatch_core(&mut self, core: usize, now: SimTime, queue: &mut EventQueue<Event>) {
+        let Some(job) = self.server.cores[core].try_dispatch() else {
+            return;
+        };
+        let duration = match &job {
+            CoreJob::Irq(_) => self.server.irq_duration(core),
+            CoreJob::Work(req) => {
+                let state = self.run_state.connection(req.client, req.conn);
+                let irq_core = self.server.rss_core(state.rss_queue);
+                let handoff =
+                    self.server.cores[irq_core].socket != self.server.cores[core].socket;
+                self.server
+                    .service_duration(core, &req.profile, state.buffer_remote, handoff)
+                    .mul_f64(self.run_state.service_factor())
+            }
+            CoreJob::Stall(d) => *d,
+        };
+        queue.schedule(now + duration, Event::CoreJobDone { core, start: now, job });
+    }
+}
+
+impl World for ClusterWorld {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, queue: &mut EventQueue<Event>) {
+        match event {
+            Event::SendFire { client, conn } => {
+                let ci = client as usize;
+                assert!(
+                    conn < self.clients[ci].spec.connections,
+                    "traffic source on client {client} emitted connection {conn}, but the \
+                     client declares only {} connections",
+                    self.clients[ci].spec.connections
+                );
+                let profile = self.workload.sample_request(&mut self.clients[ci].rng);
+                let id = RequestId(self.next_id);
+                self.next_id += 1;
+                let req = Request::new(id, client, conn, profile, now);
+                self.outstanding += 1;
+                if self.sample_outstanding {
+                    self.outstanding_samples.push((now, self.outstanding));
+                }
+                let tx_at = self.clients[ci].tx_ready_at(now);
+                queue.schedule(tx_at, Event::ClientTxNic(req));
+                let next = {
+                    let c = &mut self.clients[ci];
+                    c.source.on_sent(now, &mut c.rng)
+                };
+                if let Some(order) = next {
+                    self.maybe_schedule_send(client, order, queue);
+                }
+            }
+            Event::ClientTxNic(mut req) => {
+                let ci = req.client as usize;
+                let out = self
+                    .network
+                    .uplink_departure(ci, now, req.profile.request_bytes);
+                req.t_client_nic_out = out;
+                let arrive = out + self.network.propagation(ci);
+                queue.schedule(arrive, Event::ServerNicArrive(req));
+            }
+            Event::ServerNicArrive(mut req) => {
+                let done = self
+                    .network
+                    .ingress_departure(now, req.profile.request_bytes);
+                req.t_server_nic_in = done;
+                let state = self.run_state.connection(req.client, req.conn);
+                let core = self.server.rss_core(state.rss_queue);
+                queue.schedule(
+                    done,
+                    Event::CoreEnqueue {
+                        core,
+                        job: CoreJob::Irq(req),
+                    },
+                );
+            }
+            Event::CoreEnqueue { core, job } => {
+                self.server.cores[core].enqueue(job);
+                if !self.server.cores[core].is_busy() {
+                    self.dispatch_core(core, now, queue);
+                }
+            }
+            Event::CoreJobDone { core, start, job } => {
+                self.server.cores[core].finish_job(start, now.duration_since(start));
+                match job {
+                    CoreJob::Irq(mut req) => {
+                        req.t_irq_done = now;
+                        let state = self.run_state.connection(req.client, req.conn);
+                        let core = self
+                            .server
+                            .balanced_worker_core(usize::from(state.worker_core));
+                        queue.schedule(
+                            now,
+                            Event::CoreEnqueue {
+                                core,
+                                job: CoreJob::Work(req),
+                            },
+                        );
+                    }
+                    CoreJob::Work(mut req) => {
+                        req.t_service_start = start;
+                        let out = self
+                            .network
+                            .egress_departure(now, req.profile.response_bytes);
+                        req.t_server_nic_out = out;
+                        let ci = req.client as usize;
+                        let arrive = out + self.network.propagation(ci);
+                        queue.schedule(arrive, Event::ClientNicArrive(req));
+                    }
+                    CoreJob::Stall(_) => {}
+                }
+                self.dispatch_core(core, now, queue);
+            }
+            Event::ClientNicArrive(mut req) => {
+                let ci = req.client as usize;
+                let done = self
+                    .network
+                    .downlink_departure(ci, now, req.profile.response_bytes);
+                req.t_client_nic_in = done;
+                let user_at = done + self.clients[ci].spec.kernel_rx;
+                queue.schedule(user_at, Event::ClientRxUser(req));
+            }
+            Event::ClientRxUser(req) => {
+                let ci = req.client as usize;
+                let delivered = self.clients[ci].rx_delivered_at(now);
+                queue.schedule(delivered, Event::Delivered(req));
+            }
+            Event::Delivered(mut req) => {
+                req.t_delivered = now;
+                let ci = req.client as usize;
+                self.outstanding -= 1;
+                self.clients[ci]
+                    .records
+                    .push(ResponseRecord::from_request(&req));
+                let next = {
+                    let c = &mut self.clients[ci];
+                    c.source.on_response(req.conn, now, &mut c.rng)
+                };
+                if let Some(order) = next {
+                    self.maybe_schedule_send(req.client, order, queue);
+                }
+            }
+            Event::GovernorTick => {
+                let stalled = self.server.governor_tick(now);
+                for core in stalled {
+                    if !self.server.cores[core].is_busy() {
+                        self.dispatch_core(core, now, queue);
+                    }
+                }
+                let next = now + self.server.spec().governor_period;
+                if next <= self.stop_sending_at {
+                    queue.schedule(next, Event::GovernorTick);
+                }
+            }
+            Event::ThermalTick => {
+                self.server.thermal_tick(now);
+                let next = now + self.server.spec().thermal_period;
+                if next <= self.stop_sending_at {
+                    queue.schedule(next, Event::ThermalTick);
+                }
+            }
+        }
+    }
+}
+
+/// Builds and runs cluster simulations.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use treadmill_cluster::{ClusterBuilder, ClientSpec, PoissonSource};
+/// use treadmill_sim_core::SimDuration;
+/// use treadmill_workloads::Memcached;
+///
+/// let result = ClusterBuilder::new(Arc::new(Memcached::default()))
+///     .seed(42)
+///     .client(ClientSpec::default(), Box::new(PoissonSource::new(50_000.0, 16)))
+///     .duration(SimDuration::from_millis(50))
+///     .run();
+/// assert!(result.total_responses() > 1_000);
+/// ```
+#[derive(Debug)]
+pub struct ClusterBuilder {
+    workload: Arc<dyn Workload>,
+    hardware: HardwareConfig,
+    server_spec: ServerSpec,
+    network_spec: NetworkSpec,
+    clients: Vec<(ClientSpec, Box<dyn TrafficSource>)>,
+    seed: u64,
+    duration: SimDuration,
+    sample_outstanding: bool,
+    trace_frequencies: bool,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder for the given workload with default hardware
+    /// (all factors low), specs, a 100 ms sending window, and seed 0.
+    pub fn new(workload: Arc<dyn Workload>) -> Self {
+        ClusterBuilder {
+            workload,
+            hardware: HardwareConfig::default(),
+            server_spec: ServerSpec::default(),
+            network_spec: NetworkSpec::default(),
+            clients: Vec::new(),
+            seed: 0,
+            duration: SimDuration::from_millis(100),
+            sample_outstanding: false,
+            trace_frequencies: false,
+        }
+    }
+
+    /// Sets the hardware factor configuration (Table III).
+    pub fn hardware(mut self, hardware: HardwareConfig) -> Self {
+        self.hardware = hardware;
+        self
+    }
+
+    /// Overrides the server specification.
+    pub fn server_spec(mut self, spec: ServerSpec) -> Self {
+        self.server_spec = spec;
+        self
+    }
+
+    /// Overrides the network specification.
+    pub fn network_spec(mut self, spec: NetworkSpec) -> Self {
+        self.network_spec = spec;
+        self
+    }
+
+    /// Adds a client machine hosting the given traffic source.
+    pub fn client(mut self, spec: ClientSpec, source: Box<dyn TrafficSource>) -> Self {
+        self.clients.push((spec, source));
+        self
+    }
+
+    /// Sets the master seed. Every stochastic component derives its own
+    /// stream from this.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets how long clients keep sending (the run then drains).
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Enables sampling of the in-flight request count at every send
+    /// (Figure 1's probe).
+    pub fn sample_outstanding(mut self, on: bool) -> Self {
+        self.sample_outstanding = on;
+        self
+    }
+
+    /// Enables recording of every DVFS frequency transition.
+    pub fn trace_frequencies(mut self, on: bool) -> Self {
+        self.trace_frequencies = on;
+        self
+    }
+
+    /// Builds the engine with all initial events scheduled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no clients were added.
+    pub fn build(self) -> Engine<ClusterWorld> {
+        assert!(!self.clients.is_empty(), "cluster needs at least one client");
+        let seeds = SeedStream::new(self.seed);
+        let conn_counts: Vec<u32> =
+            self.clients.iter().map(|(spec, _)| spec.connections).collect();
+        let mut hysteresis_rng = seeds.stream("hysteresis", 0);
+        let run_state = RunState::generate(
+            &self.server_spec,
+            self.hardware,
+            &conn_counts,
+            &mut hysteresis_rng,
+        );
+        let clients: Vec<ClientMachine> = self
+            .clients
+            .into_iter()
+            .enumerate()
+            .map(|(i, (spec, source))| {
+                ClientMachine::new(spec, source, seeds.stream("client", i as u64))
+            })
+            .collect();
+        let racks: Vec<u8> = clients.iter().map(|c| c.spec.rack).collect();
+        let stop_sending_at = SimTime::ZERO + self.duration;
+        let mut server = Server::new(self.server_spec, self.hardware);
+        if self.trace_frequencies {
+            server.enable_frequency_trace();
+        }
+        let governor_period = server.spec().governor_period;
+        let thermal_period = server.spec().thermal_period;
+        let world = ClusterWorld {
+            workload: self.workload,
+            server,
+            network: Network::new(self.network_spec, &racks),
+            clients,
+            run_state,
+            stop_sending_at,
+            next_id: 0,
+            outstanding: 0,
+            outstanding_samples: Vec::new(),
+            sample_outstanding: self.sample_outstanding,
+        };
+        let mut engine = Engine::new(world);
+        let starts = engine.world_mut().collect_start_orders(SimTime::ZERO);
+        for (client, order) in starts {
+            if order.at <= stop_sending_at {
+                engine.schedule(
+                    order.at,
+                    Event::SendFire {
+                        client,
+                        conn: order.conn,
+                    },
+                );
+            }
+        }
+        engine.schedule(SimTime::ZERO + governor_period, Event::GovernorTick);
+        engine.schedule(SimTime::ZERO + thermal_period, Event::ThermalTick);
+        engine
+    }
+
+    /// Builds, runs to completion (sending window + drain), and extracts
+    /// the results.
+    pub fn run(self) -> RunResult {
+        let mut engine = self.build();
+        engine.run_to_completion();
+        let completed_at = engine.now();
+        let events_executed = engine.events_executed();
+        let world = engine.into_world();
+        let sending_stopped_at = world.stop_sending_at;
+        let per_core = world
+            .server
+            .cores
+            .iter()
+            .map(|c| CoreStats {
+                core: c.id,
+                socket: c.socket,
+                utilization: c.util.utilization(sending_stopped_at),
+                final_freq_ghz: c.freq_ghz(),
+                jobs_done: c.jobs_done(),
+                transitions: c.transitions(),
+            })
+            .collect();
+        RunResult {
+            per_core,
+            server_utilization: world.server.mean_utilization(sending_stopped_at),
+            frequency_transitions: world.server.total_transitions(),
+            final_heat: world.server.thermal().heat(),
+            run_remote_fraction: world.run_state.remote_fraction(),
+            client_cpu_utilization: world
+                .clients
+                .iter()
+                .map(|c| c.cpu_utilization(sending_stopped_at))
+                .collect(),
+            frequency_trace: world
+                .server
+                .frequency_trace()
+                .map(<[crate::server::FrequencyEvent]>::to_vec)
+                .unwrap_or_default(),
+            client_records: world.clients.into_iter().map(|c| c.records).collect(),
+            outstanding: world.outstanding_samples,
+            sending_stopped_at,
+            completed_at,
+            events_executed,
+        }
+    }
+}
+
+/// Everything a finished run produced.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Completed-request records, per client, in delivery order.
+    pub client_records: Vec<Vec<ResponseRecord>>,
+    /// `(time, in-flight count)` samples taken at each send, if enabled.
+    pub outstanding: Vec<(SimTime, u32)>,
+    /// When clients stopped sending.
+    pub sending_stopped_at: SimTime,
+    /// When the last event executed (the drain finished).
+    pub completed_at: SimTime,
+    /// Mean core utilisation over the sending window.
+    pub server_utilization: f64,
+    /// Per-client CPU utilisation over the sending window.
+    pub client_cpu_utilization: Vec<f64>,
+    /// Per-core diagnostics (utilisation, frequency, job counts).
+    pub per_core: Vec<CoreStats>,
+    /// Recorded frequency transitions (empty unless
+    /// [`ClusterBuilder::trace_frequencies`] was enabled).
+    pub frequency_trace: Vec<crate::server::FrequencyEvent>,
+    /// Total DVFS frequency transitions.
+    pub frequency_transitions: u64,
+    /// Package heat at the end of the run (diagnostics).
+    pub final_heat: f64,
+    /// The run's realised remote-buffer fraction (hysteresis state).
+    pub run_remote_fraction: f64,
+    /// Total events executed.
+    pub events_executed: u64,
+}
+
+impl RunResult {
+    /// Iterates over all clients' records.
+    pub fn all_records(&self) -> impl Iterator<Item = &ResponseRecord> {
+        self.client_records.iter().flatten()
+    }
+
+    /// Total responses delivered.
+    pub fn total_responses(&self) -> usize {
+        self.client_records.iter().map(Vec::len).sum()
+    }
+
+    /// User-space latencies (µs) of records generated at or after
+    /// `warmup` — the load tester's view with warm-up discarded.
+    pub fn user_latencies_us(&self, warmup: SimTime) -> Vec<f64> {
+        self.all_records()
+            .filter(|r| r.t_generated >= warmup)
+            .map(ResponseRecord::user_latency_us)
+            .collect()
+    }
+
+    /// Fraction of measurement-window requests whose user-space latency
+    /// met `deadline` — the operator-facing SLA attainment view of the
+    /// same tail the paper studies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no requests were generated at or after `warmup`.
+    pub fn sla_attainment(&self, warmup: SimTime, deadline: SimDuration) -> f64 {
+        let deadline_us = deadline.as_micros_f64();
+        let mut total = 0usize;
+        let mut within = 0usize;
+        for record in self.all_records() {
+            if record.t_generated < warmup {
+                continue;
+            }
+            total += 1;
+            if record.user_latency_us() <= deadline_us {
+                within += 1;
+            }
+        }
+        assert!(total > 0, "no measurement-window requests");
+        within as f64 / total as f64
+    }
+
+    /// tcpdump ground-truth latencies (µs) after `warmup`.
+    pub fn nic_latencies_us(&self, warmup: SimTime) -> Vec<f64> {
+        self.all_records()
+            .filter(|r| r.t_generated >= warmup)
+            .map(ResponseRecord::nic_latency_us)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::PoissonSource;
+    use rand::RngCore;
+    use treadmill_stats::quantile::quantile;
+    use treadmill_workloads::Memcached;
+
+    fn quick_run(rate: f64, seed: u64) -> RunResult {
+        ClusterBuilder::new(Arc::new(Memcached::default()))
+            .seed(seed)
+            .client(
+                ClientSpec::default(),
+                Box::new(PoissonSource::new(rate, 16)),
+            )
+            .duration(SimDuration::from_millis(60))
+            .run()
+    }
+
+    #[test]
+    fn requests_complete_and_latency_is_sane() {
+        let result = quick_run(100_000.0, 1);
+        // ~6000 requests in 60ms at 100k RPS.
+        assert!(result.total_responses() > 5_000, "{}", result.total_responses());
+        assert!(result.total_responses() < 7_000);
+        let latencies = result.user_latencies_us(SimTime::from_millis(10));
+        let p50 = quantile(&latencies, 0.5);
+        // Floor: ~29us client + ~10us network + ~16us+ server.
+        assert!(p50 > 40.0, "p50 {p50}us implausibly low");
+        assert!(p50 < 300.0, "p50 {p50}us implausibly high at 10% util");
+    }
+
+    #[test]
+    fn user_latency_exceeds_nic_latency_by_fixed_kernel_cost() {
+        let result = quick_run(50_000.0, 2);
+        let warmup = SimTime::from_millis(10);
+        let user = result.user_latencies_us(warmup);
+        let nic = result.nic_latencies_us(warmup);
+        let gap = quantile(&user, 0.5) - quantile(&nic, 0.5);
+        // kernel_tx 12us + kernel_rx 16us + 2 cpu ops ~1.6us ≈ 29.6us.
+        assert!(gap > 20.0 && gap < 40.0, "gap {gap}us");
+    }
+
+    #[test]
+    fn utilization_tracks_offered_load() {
+        let low = quick_run(100_000.0, 3);
+        let high = quick_run(700_000.0, 3);
+        assert!(
+            low.server_utilization < 0.25,
+            "low-load util {}",
+            low.server_utilization
+        );
+        assert!(
+            high.server_utilization > 0.5,
+            "high-load util {}",
+            high.server_utilization
+        );
+        assert!(high.server_utilization < 0.98);
+    }
+
+    #[test]
+    fn tail_grows_with_load() {
+        let warmup = SimTime::from_millis(10);
+        let low = quick_run(100_000.0, 4);
+        let high = quick_run(700_000.0, 4);
+        let p99_low = quantile(&low.user_latencies_us(warmup), 0.99);
+        let p99_high = quantile(&high.user_latencies_us(warmup), 0.99);
+        assert!(
+            p99_high > p99_low * 1.5,
+            "queueing should inflate the tail: {p99_low} → {p99_high}"
+        );
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_exactly() {
+        let a = quick_run(200_000.0, 7);
+        let b = quick_run(200_000.0, 7);
+        assert_eq!(a.total_responses(), b.total_responses());
+        assert_eq!(a.events_executed, b.events_executed);
+        let la = a.user_latencies_us(SimTime::ZERO);
+        let lb = b.user_latencies_us(SimTime::ZERO);
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn different_seeds_exhibit_hysteresis() {
+        let warmup = SimTime::from_millis(10);
+        let p99s: Vec<f64> = (0..4)
+            .map(|s| quantile(&quick_run(600_000.0, 100 + s).user_latencies_us(warmup), 0.99))
+            .collect();
+        let min = p99s.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = p99s.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            max / min > 1.02,
+            "expected run-to-run variation, got {p99s:?}"
+        );
+    }
+
+    #[test]
+    fn frequency_trace_records_governor_activity() {
+        let result = ClusterBuilder::new(Arc::new(Memcached::default()))
+            .seed(13)
+            .client(
+                ClientSpec::default(),
+                Box::new(PoissonSource::new(100_000.0, 16)),
+            )
+            .duration(SimDuration::from_millis(60))
+            .trace_frequencies(true)
+            .run();
+        // Ondemand at low load: idle-ish cores get down-clocked at the
+        // first ticks; transitions must be recorded in time order.
+        assert!(!result.frequency_trace.is_empty());
+        for pair in result.frequency_trace.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        assert!(result
+            .frequency_trace
+            .iter()
+            .all(|e| e.ghz >= 1.2 && e.ghz <= 3.0));
+    }
+
+    #[test]
+    fn sla_attainment_brackets_the_quantiles() {
+        let result = quick_run(400_000.0, 11);
+        let warmup = SimTime::from_millis(10);
+        let lat = result.user_latencies_us(warmup);
+        let p99 = quantile(&lat, 0.99);
+        let at_p99 = result.sla_attainment(warmup, SimDuration::from_micros(p99 as u64 + 1));
+        assert!((at_p99 - 0.99).abs() < 0.01, "attainment at p99 = {at_p99}");
+        assert_eq!(
+            result.sla_attainment(warmup, SimDuration::from_secs(10)),
+            1.0,
+            "everything meets a 10s deadline"
+        );
+    }
+
+    #[test]
+    fn per_core_stats_reflect_nic_policy() {
+        // With same-node affinity all interrupts land on socket 0, so
+        // socket-0 cores do measurably more jobs.
+        let result = quick_run(400_000.0, 9);
+        assert_eq!(result.per_core.len(), 16);
+        let socket_jobs = |socket: u8| -> u64 {
+            result
+                .per_core
+                .iter()
+                .filter(|c| c.socket == socket)
+                .map(|c| c.jobs_done)
+                .sum()
+        };
+        assert!(
+            socket_jobs(0) > socket_jobs(1),
+            "socket 0 handles all IRQs under same-node affinity"
+        );
+        assert!(result.per_core.iter().all(|c| c.final_freq_ghz >= 1.2));
+    }
+
+    #[test]
+    fn outstanding_samples_collected_when_enabled() {
+        let result = ClusterBuilder::new(Arc::new(Memcached::default()))
+            .seed(5)
+            .client(
+                ClientSpec::default(),
+                Box::new(PoissonSource::new(100_000.0, 16)),
+            )
+            .duration(SimDuration::from_millis(20))
+            .sample_outstanding(true)
+            .run();
+        assert!(!result.outstanding.is_empty());
+        assert!(result.outstanding.iter().all(|&(_, n)| n >= 1));
+    }
+
+    #[test]
+    fn multi_client_records_split_per_client() {
+        let result = ClusterBuilder::new(Arc::new(Memcached::default()))
+            .seed(6)
+            .client(
+                ClientSpec::default(),
+                Box::new(PoissonSource::new(50_000.0, 8)),
+            )
+            .client(
+                ClientSpec {
+                    rack: 1,
+                    ..Default::default()
+                },
+                Box::new(PoissonSource::new(50_000.0, 8)),
+            )
+            .duration(SimDuration::from_millis(40))
+            .run();
+        assert_eq!(result.client_records.len(), 2);
+        assert!(result.client_records[0].len() > 1_000);
+        assert!(result.client_records[1].len() > 1_000);
+        // The cross-rack client sees strictly higher median latency.
+        let m0 = quantile(
+            &result.client_records[0]
+                .iter()
+                .map(ResponseRecord::user_latency_us)
+                .collect::<Vec<_>>(),
+            0.5,
+        );
+        let m1 = quantile(
+            &result.client_records[1]
+                .iter()
+                .map(ResponseRecord::user_latency_us)
+                .collect::<Vec<_>>(),
+            0.5,
+        );
+        assert!(m1 > m0 + 30.0, "cross-rack median {m1} vs same-rack {m0}");
+    }
+
+    /// A minimal closed-loop source for capping tests: each connection
+    /// resends immediately upon response.
+    #[derive(Debug)]
+    struct TestClosedSource {
+        connections: u32,
+    }
+
+    impl TrafficSource for TestClosedSource {
+        fn start(&mut self, now: SimTime, _rng: &mut dyn RngCore) -> Vec<SendOrder> {
+            (0..self.connections)
+                .map(|conn| SendOrder { at: now, conn })
+                .collect()
+        }
+        fn on_sent(&mut self, _now: SimTime, _rng: &mut dyn RngCore) -> Option<SendOrder> {
+            None
+        }
+        fn on_response(
+            &mut self,
+            conn: u32,
+            now: SimTime,
+            _rng: &mut dyn RngCore,
+        ) -> Option<SendOrder> {
+            Some(SendOrder { at: now, conn })
+        }
+    }
+
+    #[test]
+    fn closed_loop_caps_outstanding_requests() {
+        let result = ClusterBuilder::new(Arc::new(Memcached::default()))
+            .seed(8)
+            .client(
+                ClientSpec {
+                    connections: 8,
+                    ..Default::default()
+                },
+                Box::new(TestClosedSource { connections: 8 }),
+            )
+            .duration(SimDuration::from_millis(30))
+            .sample_outstanding(true)
+            .run();
+        let max_outstanding = result.outstanding.iter().map(|&(_, n)| n).max().unwrap();
+        assert!(max_outstanding <= 8, "closed loop exceeded cap: {max_outstanding}");
+        assert!(result.total_responses() > 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "declares only")]
+    fn source_with_too_many_connections_rejected() {
+        let _ = ClusterBuilder::new(Arc::new(Memcached::default()))
+            .seed(1)
+            .client(
+                ClientSpec {
+                    connections: 4,
+                    ..Default::default()
+                },
+                Box::new(PoissonSource::new(50_000.0, 8)),
+            )
+            .duration(SimDuration::from_millis(5))
+            .run();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn empty_cluster_rejected() {
+        let _ = ClusterBuilder::new(Arc::new(Memcached::default())).build();
+    }
+}

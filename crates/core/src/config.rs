@@ -1,0 +1,224 @@
+//! JSON load-test configuration — the paper's "JSON formatted
+//! configuration file … fed into Treadmill" (§III-A), extended to the
+//! whole test: workload, rate, clients, and windows.
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use treadmill_sim_core::SimDuration;
+use treadmill_workloads::{SpecError, WorkloadSpec};
+
+use crate::runner::LoadTest;
+
+/// Errors from load-test configuration.
+#[derive(Debug)]
+pub enum ConfigError {
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// A workload-spec problem.
+    Workload(SpecError),
+    /// Semantically invalid settings.
+    Invalid(String),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Json(e) => write!(f, "invalid load-test JSON: {e}"),
+            ConfigError::Workload(e) => write!(f, "workload error: {e}"),
+            ConfigError::Invalid(msg) => write!(f, "invalid load test: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Json(e) => Some(e),
+            ConfigError::Workload(e) => Some(e),
+            ConfigError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for ConfigError {
+    fn from(e: serde_json::Error) -> Self {
+        ConfigError::Json(e)
+    }
+}
+
+impl From<SpecError> for ConfigError {
+    fn from(e: SpecError) -> Self {
+        ConfigError::Workload(e)
+    }
+}
+
+/// A declarative load-test description.
+///
+/// # Examples
+///
+/// ```
+/// use treadmill_core::LoadTestConfig;
+///
+/// let config = LoadTestConfig::from_json(r#"{
+///     "workload": { "workload": "memcached" },
+///     "target_rps": 100000,
+///     "clients": 8,
+///     "connections_per_client": 16,
+///     "duration_ms": 300,
+///     "warmup_ms": 50
+/// }"#)?;
+/// let test = config.build()?;
+/// assert_eq!(test.target_rps(), 100_000.0);
+/// # Ok::<(), treadmill_core::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadTestConfig {
+    /// The workload specification.
+    pub workload: WorkloadSpec,
+    /// Target aggregate throughput.
+    pub target_rps: f64,
+    /// Number of Treadmill instances.
+    #[serde(default = "default_clients")]
+    pub clients: usize,
+    /// Connections per instance.
+    #[serde(default = "default_connections")]
+    pub connections_per_client: u32,
+    /// Sending window, milliseconds.
+    #[serde(default = "default_duration_ms")]
+    pub duration_ms: u64,
+    /// Warm-up window, milliseconds.
+    #[serde(default = "default_warmup_ms")]
+    pub warmup_ms: u64,
+    /// Master seed.
+    #[serde(default)]
+    pub seed: u64,
+}
+
+fn default_clients() -> usize {
+    8
+}
+fn default_connections() -> u32 {
+    16
+}
+fn default_duration_ms() -> u64 {
+    600
+}
+fn default_warmup_ms() -> u64 {
+    100
+}
+
+impl LoadTestConfig {
+    /// Parses a configuration from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Json`] on malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, ConfigError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Serialises the configuration to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serialisation cannot fail")
+    }
+
+    /// Builds the runnable [`LoadTest`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Workload`] for workload problems and
+    /// [`ConfigError::Invalid`] for nonsensical settings.
+    pub fn build(&self) -> Result<LoadTest, ConfigError> {
+        if self.target_rps <= 0.0 {
+            return Err(ConfigError::Invalid(format!(
+                "target_rps must be positive, got {}",
+                self.target_rps
+            )));
+        }
+        if self.clients == 0 {
+            return Err(ConfigError::Invalid("clients must be at least 1".into()));
+        }
+        if self.warmup_ms >= self.duration_ms {
+            return Err(ConfigError::Invalid(format!(
+                "warm-up ({} ms) must be shorter than the run ({} ms)",
+                self.warmup_ms, self.duration_ms
+            )));
+        }
+        let workload: Arc<dyn treadmill_workloads::Workload> = self.workload.build()?;
+        Ok(LoadTest::new(workload, self.target_rps)
+            .clients(self.clients)
+            .connections_per_client(self.connections_per_client)
+            .duration(SimDuration::from_millis(self.duration_ms))
+            .warmup(SimDuration::from_millis(self.warmup_ms))
+            .seed(self.seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_json() -> &'static str {
+        r#"{ "workload": { "workload": "memcached" }, "target_rps": 50000 }"#
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let config = LoadTestConfig::from_json(minimal_json()).unwrap();
+        assert_eq!(config.clients, 8);
+        assert_eq!(config.connections_per_client, 16);
+        assert_eq!(config.duration_ms, 600);
+        assert_eq!(config.warmup_ms, 100);
+        assert!(config.build().is_ok());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let config = LoadTestConfig::from_json(minimal_json()).unwrap();
+        let back = LoadTestConfig::from_json(&config.to_json()).unwrap();
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn invalid_rate_rejected() {
+        let config = LoadTestConfig::from_json(
+            r#"{ "workload": { "workload": "memcached" }, "target_rps": -5 }"#,
+        )
+        .unwrap();
+        assert!(matches!(config.build(), Err(ConfigError::Invalid(_))));
+    }
+
+    #[test]
+    fn warmup_longer_than_run_rejected() {
+        let config = LoadTestConfig::from_json(
+            r#"{
+                "workload": { "workload": "memcached" },
+                "target_rps": 1000,
+                "duration_ms": 50,
+                "warmup_ms": 60
+            }"#,
+        )
+        .unwrap();
+        let err = config.build().unwrap_err();
+        assert!(err.to_string().contains("warm-up"));
+    }
+
+    #[test]
+    fn unknown_workload_propagates() {
+        let config = LoadTestConfig::from_json(
+            r#"{ "workload": { "workload": "redis" }, "target_rps": 1000 }"#,
+        )
+        .unwrap();
+        assert!(matches!(config.build(), Err(ConfigError::Workload(_))));
+    }
+
+    #[test]
+    fn malformed_json_reported() {
+        assert!(matches!(
+            LoadTestConfig::from_json("{"),
+            Err(ConfigError::Json(_))
+        ));
+    }
+}

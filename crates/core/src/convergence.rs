@@ -1,0 +1,149 @@
+//! Convergence detection for the repeated-run procedure (§III-B,
+//! *Performance hysteresis*): "multiple measurements are taken by
+//! repeating the same experiment multiple times … until the mean of the
+//! collected measurements has already converged".
+
+use treadmill_stats::ci::mean_confidence_interval;
+use treadmill_stats::StreamingStats;
+
+/// Tracks a per-run metric (e.g. each run's p99) and decides when its
+/// mean has converged.
+///
+/// # Examples
+///
+/// ```
+/// use treadmill_core::ConvergenceTracker;
+///
+/// let mut tracker = ConvergenceTracker::new(3, 0.05, 0.95);
+/// tracker.record(100.0);
+/// tracker.record(101.0);
+/// assert!(!tracker.converged(), "below the minimum run count");
+/// tracker.record(99.0);
+/// tracker.record(100.5);
+/// assert!(tracker.converged());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConvergenceTracker {
+    stats: StreamingStats,
+    values: Vec<f64>,
+    min_runs: usize,
+    relative_tolerance: f64,
+    confidence: f64,
+}
+
+impl ConvergenceTracker {
+    /// Creates a tracker that declares convergence once at least
+    /// `min_runs` values are recorded and the `confidence`-level CI of
+    /// the mean has relative half-width below `relative_tolerance`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_runs < 2`, `relative_tolerance <= 0`, or
+    /// `confidence` outside `(0, 1)`.
+    pub fn new(min_runs: usize, relative_tolerance: f64, confidence: f64) -> Self {
+        assert!(min_runs >= 2, "need at least two runs to estimate spread");
+        assert!(relative_tolerance > 0.0, "tolerance must be positive");
+        assert!(confidence > 0.0 && confidence < 1.0, "confidence outside (0, 1)");
+        ConvergenceTracker {
+            stats: StreamingStats::new(),
+            values: Vec::new(),
+            min_runs,
+            relative_tolerance,
+            confidence,
+        }
+    }
+
+    /// Records one run's metric value.
+    pub fn record(&mut self, value: f64) {
+        self.stats.record(value);
+        self.values.push(value);
+    }
+
+    /// Number of runs recorded.
+    pub fn runs(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The running mean.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// The sample standard deviation across runs.
+    pub fn stddev(&self) -> f64 {
+        self.stats.sample_stddev()
+    }
+
+    /// All recorded values, in order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// True once the mean estimate has converged.
+    pub fn converged(&self) -> bool {
+        if self.values.len() < self.min_runs {
+            return false;
+        }
+        if self.stats.mean() == 0.0 {
+            return self.stats.sample_stddev() == 0.0;
+        }
+        let ci = mean_confidence_interval(&self.stats, self.confidence);
+        ci.relative_half_width() < self.relative_tolerance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn needs_minimum_runs() {
+        let mut t = ConvergenceTracker::new(5, 0.5, 0.95);
+        for _ in 0..4 {
+            t.record(100.0);
+        }
+        assert!(!t.converged());
+        t.record(100.0);
+        assert!(t.converged());
+    }
+
+    #[test]
+    fn high_variance_delays_convergence() {
+        let mut t = ConvergenceTracker::new(2, 0.02, 0.95);
+        // Alternating values with ~30% spread: not converged early.
+        for i in 0..6 {
+            t.record(if i % 2 == 0 { 100.0 } else { 160.0 });
+        }
+        assert!(!t.converged(), "spread too wide at {} runs", t.runs());
+        // With many more runs the CI tightens and it converges.
+        for i in 6..600 {
+            t.record(if i % 2 == 0 { 100.0 } else { 160.0 });
+        }
+        assert!(t.converged());
+        assert!((t.mean() - 130.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn identical_values_converge_immediately() {
+        let mut t = ConvergenceTracker::new(2, 0.01, 0.95);
+        t.record(42.0);
+        t.record(42.0);
+        assert!(t.converged());
+        assert_eq!(t.stddev(), 0.0);
+    }
+
+    #[test]
+    fn values_retained_in_order() {
+        let mut t = ConvergenceTracker::new(2, 0.1, 0.9);
+        t.record(1.0);
+        t.record(2.0);
+        assert_eq!(t.values(), &[1.0, 2.0]);
+        assert_eq!(t.runs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn min_runs_validated() {
+        ConvergenceTracker::new(1, 0.1, 0.95);
+    }
+}

@@ -1,0 +1,246 @@
+//! A Treadmill instance: per-client online latency aggregation.
+
+use treadmill_cluster::ResponseRecord;
+use treadmill_sim_core::{SimDuration, SimTime};
+use treadmill_stats::{AdaptiveHistogram, HistogramConfig, LatencySummary};
+
+use crate::phases::{current_phase, Phase, PhaseConfig};
+
+/// Configuration for a [`TreadmillInstance`].
+#[derive(Debug, Clone)]
+pub struct InstanceConfig {
+    /// Phase (warm-up) configuration.
+    pub phases: PhaseConfig,
+    /// Histogram configuration.
+    pub histogram: HistogramConfig,
+    /// Record one of every `sample_one_in` measurement-phase responses
+    /// (§II-B: "due to high request rates, sampling must be used to
+    /// control the measurement overhead"). `1` records everything.
+    pub sample_one_in: u64,
+}
+
+impl Default for InstanceConfig {
+    fn default() -> Self {
+        InstanceConfig {
+            phases: PhaseConfig::default(),
+            histogram: HistogramConfig::default(),
+            sample_one_in: 1,
+        }
+    }
+}
+
+/// One Treadmill instance's measurement pipeline: discards warm-up
+/// samples, calibrates an adaptive histogram, then aggregates latency
+/// online, and finally reports per-instance metrics for cross-instance
+/// aggregation (§III-B).
+///
+/// # Examples
+///
+/// ```
+/// use treadmill_core::{InstanceConfig, TreadmillInstance};
+///
+/// let instance = TreadmillInstance::new(InstanceConfig::default());
+/// assert_eq!(instance.samples(), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreadmillInstance {
+    config: InstanceConfig,
+    histogram: AdaptiveHistogram,
+    discarded: u64,
+    skipped: u64,
+    seen: u64,
+    last_observed: SimTime,
+}
+
+impl TreadmillInstance {
+    /// Creates an empty instance.
+    pub fn new(config: InstanceConfig) -> Self {
+        assert!(config.sample_one_in >= 1, "sampling stride must be >= 1");
+        TreadmillInstance {
+            histogram: AdaptiveHistogram::with_config(config.histogram.clone()),
+            config,
+            discarded: 0,
+            skipped: 0,
+            seen: 0,
+            last_observed: SimTime::ZERO,
+        }
+    }
+
+    /// Observes one completed request. Samples generated during warm-up
+    /// are discarded; the rest feed the adaptive histogram.
+    pub fn observe(&mut self, record: &ResponseRecord) {
+        self.last_observed = self.last_observed.max(record.t_delivered);
+        if record.t_generated < SimTime::ZERO + self.config.phases.warmup {
+            self.discarded += 1;
+            return;
+        }
+        self.seen += 1;
+        if self.config.sample_one_in > 1 && self.seen % self.config.sample_one_in != 0 {
+            self.skipped += 1;
+            return;
+        }
+        self.histogram.record(record.user_latency_us());
+    }
+
+    /// Observes a batch of records.
+    pub fn observe_all<'a>(&mut self, records: impl IntoIterator<Item = &'a ResponseRecord>) {
+        for record in records {
+            self.observe(record);
+        }
+    }
+
+    /// The phase the instance is currently in.
+    pub fn phase(&self) -> Phase {
+        current_phase(
+            self.last_observed,
+            SimTime::ZERO + self.config.phases.warmup,
+            &self.histogram,
+        )
+    }
+
+    /// Measurement samples aggregated so far (excluding warm-up).
+    pub fn samples(&self) -> u64 {
+        self.histogram.count()
+    }
+
+    /// Warm-up samples discarded.
+    pub fn discarded(&self) -> u64 {
+        self.discarded
+    }
+
+    /// Measurement-phase responses skipped by the sampling stride.
+    pub fn skipped(&self) -> u64 {
+        self.skipped
+    }
+
+    /// The configured warm-up window.
+    pub fn warmup(&self) -> SimDuration {
+        self.config.phases.warmup
+    }
+
+    /// The underlying histogram (e.g. for CDF plots).
+    pub fn histogram(&self) -> &AdaptiveHistogram {
+        &self.histogram
+    }
+
+    /// This instance's latency summary — the per-client metrics that
+    /// the multi-instance procedure aggregates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no measurement samples have been observed.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary::from_histogram(&self.histogram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treadmill_cluster::{Request, RequestId};
+    use treadmill_workloads::{OpClass, RequestProfile};
+
+    fn record(gen_us: u64, latency_us: u64) -> ResponseRecord {
+        let mut req = Request::new(
+            RequestId(gen_us),
+            0,
+            0,
+            RequestProfile {
+                class: OpClass::Read,
+                request_bytes: 64,
+                response_bytes: 64,
+                cpu_ns: 1.0,
+                mem_ns: 1.0,
+            },
+            SimTime::from_micros(gen_us),
+        );
+        req.t_delivered = SimTime::from_micros(gen_us + latency_us);
+        req.t_client_nic_out = req.t_generated;
+        req.t_client_nic_in = req.t_delivered;
+        req.t_server_nic_in = req.t_generated;
+        req.t_server_nic_out = req.t_delivered;
+        ResponseRecord::from_request(&req)
+    }
+
+    fn config(warmup_ms: u64, calibration: usize) -> InstanceConfig {
+        InstanceConfig {
+            phases: PhaseConfig {
+                warmup: SimDuration::from_millis(warmup_ms),
+            },
+            histogram: HistogramConfig {
+                calibration_samples: calibration,
+                ..Default::default()
+            },
+            sample_one_in: 1,
+        }
+    }
+
+    #[test]
+    fn warmup_samples_discarded() {
+        let mut inst = TreadmillInstance::new(config(1, 10));
+        inst.observe(&record(500, 100)); // 0.5ms < 1ms warm-up
+        inst.observe(&record(1_500, 100));
+        assert_eq!(inst.discarded(), 1);
+        assert_eq!(inst.samples(), 1);
+    }
+
+    #[test]
+    fn phases_reported() {
+        let mut inst = TreadmillInstance::new(config(1, 5));
+        assert_eq!(inst.phase(), Phase::Warmup);
+        inst.observe(&record(1_200, 50));
+        assert_eq!(inst.phase(), Phase::Calibration);
+        for i in 0..5 {
+            inst.observe(&record(1_300 + i, 50 + i));
+        }
+        assert_eq!(inst.phase(), Phase::Measurement);
+    }
+
+    #[test]
+    fn summary_reflects_observations() {
+        let mut inst = TreadmillInstance::new(config(0, 100));
+        for i in 0..1_000 {
+            inst.observe(&record(i * 10, 100 + (i % 100)));
+        }
+        let summary = inst.summary();
+        assert_eq!(summary.count, 1_000);
+        assert!(summary.p50 >= 100.0 && summary.p50 <= 200.0);
+        assert!(summary.p99 >= summary.p50);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_of_empty_instance_panics() {
+        TreadmillInstance::new(InstanceConfig::default()).summary();
+    }
+
+    #[test]
+    fn sampling_stride_thins_measurements_without_bias() {
+        let mut full = TreadmillInstance::new(config(0, 50));
+        let mut thinned = TreadmillInstance::new(InstanceConfig {
+            sample_one_in: 10,
+            ..config(0, 50)
+        });
+        for i in 0..20_000 {
+            let rec = record(i * 5, 100 + (i % 200));
+            full.observe(&rec);
+            thinned.observe(&rec);
+        }
+        assert_eq!(full.samples(), 20_000);
+        assert_eq!(thinned.samples(), 2_000);
+        assert_eq!(thinned.skipped(), 18_000);
+        // The thinned estimate stays close to the full one.
+        let a = full.summary().p99;
+        let b = thinned.summary().p99;
+        assert!((a - b).abs() < 10.0, "full {a} vs sampled {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn zero_stride_rejected() {
+        TreadmillInstance::new(InstanceConfig {
+            sample_one_in: 0,
+            ..Default::default()
+        });
+    }
+}

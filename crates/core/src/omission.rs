@@ -1,0 +1,130 @@
+//! Coordinated-omission correction.
+//!
+//! A rate-targeted closed-loop tester (§II-A's pitfall, as in Mutilate
+//! or YCSB) stops *sampling* whenever the system stalls: the worker
+//! that should have issued the next scheduled request is still waiting,
+//! so the slow period contributes one huge sample instead of many. The
+//! post-hoc correction (popularised by wrk2/HdrHistogram) backfills the
+//! missing samples: a measured latency `L` that exceeds the intended
+//! inter-send interval `I` also implies requests that *would* have been
+//! sent at `I, 2I, …` and waited `L−I, L−2I, …`.
+//!
+//! This module implements that correction so the reproduction can show
+//! (a) how much of the closed-loop bias it recovers and (b) that it is
+//! still no substitute for an open-loop tester — it reconstructs
+//! queue-wait arithmetic, not the queueing dynamics the unsent requests
+//! would have caused.
+
+/// Applies coordinated-omission correction to closed-loop latency
+/// samples (µs), given the schedule's intended inter-send interval per
+/// connection (µs).
+///
+/// Returns the corrected sample vector (original samples plus
+/// backfill). Output order is not meaningful; callers compute
+/// quantiles.
+///
+/// # Panics
+///
+/// Panics if `interval_us` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use treadmill_core::omission::correct_coordinated_omission;
+///
+/// // One 10us sample and one 100us stall with a 20us schedule: the
+/// // stall hides 4 additional virtual requests (80, 60, 40, 20us).
+/// let corrected = correct_coordinated_omission(&[10.0, 100.0], 20.0);
+/// assert_eq!(corrected.len(), 6);
+/// assert!(corrected.contains(&80.0));
+/// ```
+pub fn correct_coordinated_omission(samples_us: &[f64], interval_us: f64) -> Vec<f64> {
+    assert!(interval_us > 0.0, "send interval must be positive");
+    let mut corrected = Vec::with_capacity(samples_us.len());
+    for &latency in samples_us {
+        corrected.push(latency);
+        let mut implied = latency - interval_us;
+        while implied > 0.0 {
+            corrected.push(implied);
+            implied -= interval_us;
+        }
+    }
+    corrected
+}
+
+/// Summary of a correction: how many samples were added and how the
+/// p99 moved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrectionReport {
+    /// Original sample count.
+    pub original_samples: usize,
+    /// Samples after backfill.
+    pub corrected_samples: usize,
+    /// p99 before correction (µs).
+    pub p99_before: f64,
+    /// p99 after correction (µs).
+    pub p99_after: f64,
+}
+
+/// Corrects and summarises in one step.
+///
+/// # Panics
+///
+/// Panics if `samples_us` is empty or `interval_us` is not positive.
+pub fn correction_report(samples_us: &[f64], interval_us: f64) -> CorrectionReport {
+    assert!(!samples_us.is_empty(), "no samples to correct");
+    let corrected = correct_coordinated_omission(samples_us, interval_us);
+    CorrectionReport {
+        original_samples: samples_us.len(),
+        corrected_samples: corrected.len(),
+        p99_before: treadmill_stats::quantile::quantile(samples_us, 0.99),
+        p99_after: treadmill_stats::quantile::quantile(&corrected, 0.99),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_samples_pass_through() {
+        let corrected = correct_coordinated_omission(&[5.0, 8.0, 3.0], 10.0);
+        assert_eq!(corrected, vec![5.0, 8.0, 3.0]);
+    }
+
+    #[test]
+    fn stall_backfills_arithmetic_sequence() {
+        let corrected = correct_coordinated_omission(&[95.0], 20.0);
+        assert_eq!(corrected, vec![95.0, 75.0, 55.0, 35.0, 15.0]);
+    }
+
+    #[test]
+    fn correction_raises_the_tail() {
+        // 99 fast samples and one 1ms stall under a 10us schedule.
+        let mut samples = vec![10.0; 99];
+        samples.push(1_000.0);
+        let report = correction_report(&samples, 10.0);
+        assert_eq!(report.original_samples, 100);
+        assert!(report.corrected_samples > 190, "{}", report.corrected_samples);
+        assert!(
+            report.p99_after > report.p99_before * 5.0,
+            "before {} after {}",
+            report.p99_before,
+            report.p99_after
+        );
+    }
+
+    #[test]
+    fn correction_is_monotone_in_interval() {
+        let samples = vec![10.0, 500.0, 12.0];
+        let tight = correct_coordinated_omission(&samples, 5.0).len();
+        let loose = correct_coordinated_omission(&samples, 50.0).len();
+        assert!(tight > loose, "tighter schedules imply more omissions");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        correct_coordinated_omission(&[1.0], 0.0);
+    }
+}

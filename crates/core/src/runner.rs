@@ -1,0 +1,302 @@
+//! The multi-instance load-test runner (§III-B).
+//!
+//! A load test drives one simulated server with several lightly-loaded
+//! Treadmill instances — "multiple instances of Treadmill are used to
+//! send requests to the same server, where each instance sends a
+//! fraction of the desired throughput" — then extracts per-instance
+//! metrics and aggregates them.
+
+use std::sync::Arc;
+
+use treadmill_cluster::{
+    ClientSpec, ClusterBuilder, HardwareConfig, NetworkSpec, PacketCapture, RunResult,
+    ServerSpec,
+};
+use treadmill_sim_core::{SeedStream, SimDuration, SimTime};
+use treadmill_stats::LatencySummary;
+use treadmill_workloads::Workload;
+
+use crate::aggregation::{aggregate, latencies_per_client, AggregationMethod};
+use crate::controller::OpenLoopSource;
+use crate::instance::{InstanceConfig, TreadmillInstance};
+use crate::interarrival::InterArrival;
+
+/// A configured Treadmill load test against the simulated cluster.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use treadmill_core::LoadTest;
+/// use treadmill_workloads::Memcached;
+///
+/// let report = LoadTest::new(Arc::new(Memcached::default()), 100_000.0)
+///     .clients(4)
+///     .seed(1)
+///     .run(0);
+/// assert!(report.aggregated.p99 > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadTest {
+    workload: Arc<dyn Workload>,
+    target_rps: f64,
+    clients: usize,
+    connections_per_client: u32,
+    hardware: HardwareConfig,
+    server_spec: ServerSpec,
+    network_spec: NetworkSpec,
+    client_spec: ClientSpec,
+    duration: SimDuration,
+    warmup: SimDuration,
+    aggregation: AggregationMethod,
+    seed: u64,
+}
+
+impl LoadTest {
+    /// Creates a load test at `target_rps` with the paper's defaults:
+    /// 8 Treadmill clients, 16 connections each, 100 ms warm-up,
+    /// 500 ms measurement window.
+    pub fn new(workload: Arc<dyn Workload>, target_rps: f64) -> Self {
+        LoadTest {
+            workload,
+            target_rps,
+            clients: 8,
+            connections_per_client: 16,
+            hardware: HardwareConfig::default(),
+            server_spec: ServerSpec::default(),
+            network_spec: NetworkSpec::default(),
+            client_spec: ClientSpec::default(),
+            duration: SimDuration::from_millis(600),
+            warmup: SimDuration::from_millis(100),
+            aggregation: AggregationMethod::Mean,
+            seed: 0,
+        }
+    }
+
+    /// Number of Treadmill instances (client machines).
+    pub fn clients(mut self, clients: usize) -> Self {
+        assert!(clients > 0, "need at least one client");
+        self.clients = clients;
+        self
+    }
+
+    /// Connections each instance keeps open.
+    pub fn connections_per_client(mut self, connections: u32) -> Self {
+        self.connections_per_client = connections;
+        self
+    }
+
+    /// Hardware factor configuration under test.
+    pub fn hardware(mut self, hardware: HardwareConfig) -> Self {
+        self.hardware = hardware;
+        self
+    }
+
+    /// Overrides the server specification.
+    pub fn server_spec(mut self, spec: ServerSpec) -> Self {
+        self.server_spec = spec;
+        self
+    }
+
+    /// Overrides the network specification.
+    pub fn network_spec(mut self, spec: NetworkSpec) -> Self {
+        self.network_spec = spec;
+        self
+    }
+
+    /// Overrides the client machine template.
+    pub fn client_spec(mut self, spec: ClientSpec) -> Self {
+        self.client_spec = spec;
+        self
+    }
+
+    /// Total sending window (including warm-up).
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Warm-up discard window.
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Cross-instance aggregation method.
+    pub fn aggregation(mut self, method: AggregationMethod) -> Self {
+        self.aggregation = method;
+        self
+    }
+
+    /// Master seed; combine with the run index for repeated runs.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The target throughput in requests per second.
+    pub fn target_rps(&self) -> f64 {
+        self.target_rps
+    }
+
+    /// The warm-up window.
+    pub fn warmup_window(&self) -> SimDuration {
+        self.warmup
+    }
+
+    /// Executes run number `run_index` (a fresh server start — new
+    /// hysteresis state — per the repeated-run procedure).
+    pub fn run(&self, run_index: u64) -> LoadTestReport {
+        let run_seed = SeedStream::new(self.seed).derive("run", run_index);
+        let per_client_rate = self.target_rps / self.clients as f64;
+        let mut builder = ClusterBuilder::new(Arc::clone(&self.workload))
+            .hardware(self.hardware)
+            .server_spec(self.server_spec.clone())
+            .network_spec(self.network_spec.clone())
+            .seed(run_seed)
+            .duration(self.duration);
+        for _ in 0..self.clients {
+            let mut spec = self.client_spec.clone();
+            spec.connections = self.connections_per_client;
+            builder = builder.client(
+                spec,
+                Box::new(OpenLoopSource::new(
+                    InterArrival::Exponential {
+                        rate_rps: per_client_rate,
+                    },
+                    self.connections_per_client,
+                )),
+            );
+        }
+        let result = builder.run();
+
+        let instance_config = InstanceConfig {
+            phases: crate::phases::PhaseConfig { warmup: self.warmup },
+            ..Default::default()
+        };
+        let per_instance: Vec<LatencySummary> = result
+            .client_records
+            .iter()
+            .map(|records| {
+                let mut instance = TreadmillInstance::new(instance_config.clone());
+                instance.observe_all(records);
+                instance.summary()
+            })
+            .collect();
+        let aggregated = aggregate(&per_instance, self.aggregation);
+        let warmup_time = SimTime::ZERO + self.warmup;
+        let ground_truth =
+            PacketCapture::from_records(result.all_records(), warmup_time);
+        LoadTestReport {
+            per_instance,
+            aggregated,
+            ground_truth,
+            run: result,
+            warmup: self.warmup,
+        }
+    }
+
+    /// User-space measurement latencies per client from a report's raw
+    /// records (µs), warm-up excluded — for analyses that need raw
+    /// samples rather than summaries.
+    pub fn raw_latencies(&self, report: &LoadTestReport) -> Vec<Vec<f64>> {
+        latencies_per_client(
+            &report.run.client_records,
+            self.warmup.as_nanos() / 1_000,
+        )
+    }
+}
+
+/// Everything one load-test run produced.
+#[derive(Debug, Clone)]
+pub struct LoadTestReport {
+    /// Per-instance latency summaries (the paper's per-client metrics).
+    pub per_instance: Vec<LatencySummary>,
+    /// The cross-instance aggregate — the run's headline numbers.
+    pub aggregated: LatencySummary,
+    /// tcpdump-equivalent ground truth over the measurement window.
+    pub ground_truth: PacketCapture,
+    /// The raw simulation output.
+    pub run: RunResult,
+    /// The warm-up window used.
+    pub warmup: SimDuration,
+}
+
+impl LoadTestReport {
+    /// Measurement-window user-space latencies pooled across clients
+    /// (µs). For per-client vectors use [`LoadTest::raw_latencies`].
+    pub fn pooled_latencies(&self) -> Vec<f64> {
+        self.run
+            .user_latencies_us(SimTime::ZERO + self.warmup)
+    }
+
+    /// The offered-vs-achieved throughput ratio over the sending window
+    /// (1.0 = every request was answered in time). Only responses
+    /// delivered *within* the window count — a backlogged client
+    /// delivering stale responses after the test must not pass.
+    pub fn completion_ratio(&self, target_rps: f64) -> f64 {
+        let stop = self.run.sending_stopped_at;
+        let expected = target_rps * stop.as_secs_f64();
+        let delivered = self
+            .run
+            .all_records()
+            .filter(|r| r.t_delivered <= stop)
+            .count();
+        delivered as f64 / expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treadmill_workloads::Memcached;
+
+    fn quick_test(rps: f64) -> LoadTest {
+        LoadTest::new(Arc::new(Memcached::default()), rps)
+            .clients(4)
+            .duration(SimDuration::from_millis(120))
+            .warmup(SimDuration::from_millis(30))
+            .seed(11)
+    }
+
+    #[test]
+    fn report_contains_all_views() {
+        let report = quick_test(100_000.0).run(0);
+        assert_eq!(report.per_instance.len(), 4);
+        assert!(report.aggregated.p99 >= report.aggregated.p50);
+        assert!(!report.ground_truth.is_empty());
+        // Ground truth (NIC) below user view.
+        assert!(report.ground_truth.quantile_us(0.5) < report.aggregated.p50);
+    }
+
+    #[test]
+    fn throughput_is_delivered() {
+        let report = quick_test(200_000.0).run(0);
+        let ratio = report.completion_ratio(200_000.0);
+        assert!(ratio > 0.95 && ratio < 1.05, "completion ratio {ratio}");
+    }
+
+    #[test]
+    fn repeated_runs_differ_same_run_repeats() {
+        let test = quick_test(400_000.0);
+        let a = test.run(0);
+        let b = test.run(1);
+        let a2 = test.run(0);
+        assert_eq!(a.aggregated, a2.aggregated, "same run index reproduces");
+        assert_ne!(
+            a.aggregated.p99, b.aggregated.p99,
+            "different run indices draw fresh hysteresis state"
+        );
+    }
+
+    #[test]
+    fn raw_latencies_exclude_warmup() {
+        let test = quick_test(100_000.0);
+        let report = test.run(0);
+        let per_client = test.raw_latencies(&report);
+        assert_eq!(per_client.len(), 4);
+        let raw_total: usize = per_client.iter().map(Vec::len).sum();
+        assert!(raw_total < report.run.total_responses());
+        assert!(raw_total > 0);
+    }
+}

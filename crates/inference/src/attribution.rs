@@ -1,0 +1,215 @@
+//! Quantile-regression attribution (Table IV, Figures 7 & 9).
+
+use rand::SeedableRng;
+use treadmill_cluster::HardwareConfig;
+use treadmill_stats::regression::{
+    bootstrap_saturated, BootstrapOptions, CoefficientEstimate, FactorialDesign,
+};
+
+use crate::dataset::Dataset;
+use crate::factors::factor_names;
+
+/// The percentiles the paper reports in Table IV.
+pub const TABLE_IV_PERCENTILES: [f64; 3] = [0.50, 0.95, 0.99];
+
+/// A fitted attribution model at one quantile.
+#[derive(Debug, Clone)]
+pub struct AttributionResult {
+    /// The quantile fitted (e.g. 0.99).
+    pub tau: f64,
+    /// Per-term coefficient estimates with bootstrap SEs and p-values —
+    /// the rows of Table IV.
+    pub coefficients: Vec<CoefficientEstimate>,
+    design: FactorialDesign,
+}
+
+impl AttributionResult {
+    /// The saturated design used.
+    pub fn design(&self) -> &FactorialDesign {
+        &self.design
+    }
+
+    /// Predicts the τ-quantile latency (µs) for a configuration — the
+    /// "add up all the qualified estimated coefficients and the
+    /// intercept" recipe of §V-B.
+    pub fn predict(&self, config: &HardwareConfig) -> f64 {
+        let coef: Vec<f64> = self.coefficients.iter().map(|c| c.estimate).collect();
+        self.design.predict(&coef, &config.levels())
+    }
+
+    /// The coefficient row for a term label (e.g. `"numa:dvfs"`).
+    pub fn term(&self, label: &str) -> Option<&CoefficientEstimate> {
+        self.coefficients.iter().find(|c| c.term == label)
+    }
+
+    /// Predicted latency for all 16 configurations, in index order
+    /// (one group of bars in Figures 7/9).
+    pub fn predictions_all_configs(&self) -> Vec<f64> {
+        HardwareConfig::all()
+            .iter()
+            .map(|cfg| self.predict(cfg))
+            .collect()
+    }
+
+    /// The configuration with the lowest predicted latency (the §V-E
+    /// tuning recommendation).
+    pub fn best_config(&self) -> HardwareConfig {
+        let mut best = HardwareConfig::from_index(0);
+        let mut best_value = f64::INFINITY;
+        for cfg in HardwareConfig::all() {
+            let value = self.predict(&cfg);
+            if value < best_value {
+                best_value = value;
+                best = cfg;
+            }
+        }
+        best
+    }
+}
+
+/// Fits the saturated quantile-regression model with bootstrap
+/// inference at one quantile. Observations are the per-experiment
+/// measured τ-quantiles (the paper's Eq. 3).
+///
+/// # Panics
+///
+/// Panics if the dataset does not have exactly 16 cells.
+pub fn attribute(
+    dataset: &Dataset,
+    tau: f64,
+    bootstrap_replicates: usize,
+    seed: u64,
+) -> AttributionResult {
+    assert_eq!(dataset.cells.len(), 16, "dataset must cover all 16 cells");
+    let design = FactorialDesign::full(&factor_names());
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let coefficients = bootstrap_saturated(
+        &design,
+        &dataset.cells,
+        tau,
+        BootstrapOptions {
+            replicates: bootstrap_replicates,
+        },
+        &mut rng,
+    )
+    .expect("saturated factorial design cannot be singular");
+    AttributionResult {
+        tau,
+        coefficients,
+        design,
+    }
+}
+
+/// Fits the model at each of the paper's Table IV percentiles.
+pub fn attribution_table(
+    dataset: &Dataset,
+    bootstrap_replicates: usize,
+    seed: u64,
+) -> Vec<AttributionResult> {
+    TABLE_IV_PERCENTILES
+        .iter()
+        .map(|&tau| attribute(dataset, tau, bootstrap_replicates, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use treadmill_stats::regression::Cell;
+
+    /// A synthetic dataset with known structure: latency = 100
+    /// + 50*numa + 20*numa*dvfs - 10*turbo (+ noise), constant across
+    /// quantiles.
+    fn synthetic_dataset(run_noise: f64) -> Dataset {
+        use rand::Rng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
+        let cells = (0..16)
+            .map(|i| {
+                let cfg = HardwareConfig::from_index(i);
+                let lv = cfg.levels();
+                let center = 100.0 + 50.0 * lv[0] + 20.0 * lv[0] * lv[2] - 10.0 * lv[1];
+                let runs: Vec<Vec<f64>> = (0..8)
+                    .map(|_| {
+                        let shift = rng.gen_range(-run_noise..=run_noise);
+                        (0..200)
+                            .map(|_| center + shift + rng.gen_range(-1.0..1.0))
+                            .collect()
+                    })
+                    .collect();
+                Cell::new(lv, runs)
+            })
+            .collect();
+        Dataset {
+            cells,
+            target_rps: 1.0,
+            workload_name: "synthetic".into(),
+        }
+    }
+
+    #[test]
+    fn recovers_known_effects() {
+        let dataset = synthetic_dataset(0.5);
+        let result = attribute(&dataset, 0.5, 100, 1);
+        let numa = result.term("numa").unwrap();
+        assert!((numa.estimate - 50.0).abs() < 3.0, "numa {}", numa.estimate);
+        assert!(numa.is_significant(0.05));
+        let interaction = result.term("numa:dvfs").unwrap();
+        assert!(
+            (interaction.estimate - 20.0).abs() < 4.0,
+            "numa:dvfs {}",
+            interaction.estimate
+        );
+        let turbo = result.term("turbo").unwrap();
+        assert!((turbo.estimate + 10.0).abs() < 3.0);
+        // Null factor: nic has no effect.
+        let nic = result.term("nic").unwrap();
+        assert!(nic.estimate.abs() < 3.0, "nic {}", nic.estimate);
+    }
+
+    #[test]
+    fn predictions_follow_the_recipe() {
+        let dataset = synthetic_dataset(0.5);
+        let result = attribute(&dataset, 0.5, 20, 2);
+        // numa high + dvfs high: 100 + 50 + 20 = 170.
+        let cfg = HardwareConfig::from_index(0b0101);
+        assert!((result.predict(&cfg) - 170.0).abs() < 4.0);
+        assert_eq!(result.predictions_all_configs().len(), 16);
+    }
+
+    #[test]
+    fn best_config_minimises_prediction() {
+        let dataset = synthetic_dataset(0.5);
+        let result = attribute(&dataset, 0.5, 20, 3);
+        let best = result.best_config();
+        // Optimal: numa low (avoid +50), turbo high (-10); dvfs/nic
+        // don't matter (but dvfs high only hurts with numa high).
+        assert!(!best.numa.is_high());
+        assert!(best.turbo.is_high());
+    }
+
+    #[test]
+    fn table_covers_paper_percentiles() {
+        let dataset = synthetic_dataset(0.5);
+        let table = attribution_table(&dataset, 10, 4);
+        assert_eq!(table.len(), 3);
+        assert_eq!(table[0].tau, 0.50);
+        assert_eq!(table[2].tau, 0.99);
+        for result in &table {
+            assert_eq!(result.coefficients.len(), 16);
+            assert_eq!(result.coefficients[0].term, "(Intercept)");
+        }
+    }
+
+    #[test]
+    fn noisier_runs_give_larger_standard_errors() {
+        let calm = attribute(&synthetic_dataset(0.2), 0.5, 100, 5);
+        let noisy = attribute(&synthetic_dataset(20.0), 0.5, 100, 5);
+        let se = |r: &AttributionResult| r.term("numa").unwrap().std_error;
+        assert!(
+            se(&noisy) > se(&calm) * 3.0,
+            "noisy {} vs calm {}",
+            se(&noisy),
+            se(&calm)
+        );
+    }
+}

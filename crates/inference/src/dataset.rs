@@ -1,0 +1,255 @@
+//! Factorial experiment execution: collecting the latency samples that
+//! feed quantile regression (§V-A).
+//!
+//! The paper runs ≥30 independent experiments per configuration (480
+//! total for 4 factors), randomly permuting the configuration order,
+//! and sub-samples 20k latency samples from each experiment's converged
+//! window. We reproduce the same structure; independence between
+//! experiments comes from disjoint seed streams, and experiments run in
+//! parallel across OS threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use treadmill_cluster::HardwareConfig;
+use treadmill_core::LoadTest;
+use treadmill_sim_core::{SeedStream, SimDuration};
+use treadmill_stats::regression::Cell;
+use treadmill_workloads::Workload;
+
+/// Parameters of a factorial data collection.
+#[derive(Debug, Clone)]
+pub struct CollectionPlan {
+    /// Workload under test.
+    pub workload: Arc<dyn Workload>,
+    /// Target aggregate throughput.
+    pub target_rps: f64,
+    /// Independent experiments per configuration (the paper uses 30).
+    pub runs_per_config: usize,
+    /// Latency samples retained per experiment (the paper uses 20k).
+    pub samples_per_run: usize,
+    /// Treadmill instances per experiment.
+    pub clients: usize,
+    /// Sending window per experiment.
+    pub duration: SimDuration,
+    /// Warm-up discard window.
+    pub warmup: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads for parallel execution.
+    pub threads: usize,
+}
+
+impl CollectionPlan {
+    /// A plan with paper-like defaults at the given load.
+    pub fn new(workload: Arc<dyn Workload>, target_rps: f64) -> Self {
+        CollectionPlan {
+            workload,
+            target_rps,
+            runs_per_config: 30,
+            samples_per_run: 20_000,
+            clients: 8,
+            duration: SimDuration::from_millis(500),
+            warmup: SimDuration::from_millis(120),
+            seed: 0,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+
+    /// Total experiments the plan will run.
+    pub fn total_experiments(&self) -> usize {
+        16 * self.runs_per_config
+    }
+}
+
+/// The collected factorial dataset: one regression cell per hardware
+/// configuration, each holding `runs_per_config` runs of subsampled
+/// latency samples.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Cells in [`HardwareConfig::from_index`] order.
+    pub cells: Vec<Cell>,
+    /// The plan's target throughput (for labelling).
+    pub target_rps: f64,
+    /// Workload name (for labelling).
+    pub workload_name: String,
+}
+
+impl Dataset {
+    /// Samples and configuration levels flattened for goodness-of-fit:
+    /// `(levels, latency)` pairs.
+    pub fn flattened(&self) -> Vec<(Vec<f64>, f64)> {
+        let mut out = Vec::new();
+        for cell in &self.cells {
+            for run in cell.runs() {
+                for &v in run {
+                    out.push((cell.levels.clone(), v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total samples across cells and runs.
+    pub fn total_samples(&self) -> usize {
+        self.cells.iter().map(Cell::total_samples).sum()
+    }
+}
+
+/// Runs the full factorial collection.
+///
+/// Experiment order is randomly permuted (as the paper prescribes to
+/// preserve independence) and executed across `plan.threads` workers;
+/// results are deterministic for a given `plan.seed` regardless of
+/// thread interleaving because every experiment derives its own seed.
+///
+/// # Panics
+///
+/// Panics if the plan is degenerate (zero runs or samples).
+pub fn collect(plan: &CollectionPlan) -> Dataset {
+    assert!(plan.runs_per_config > 0, "need at least one run per config");
+    assert!(plan.samples_per_run > 0, "need at least one sample per run");
+
+    // Job list: (config index, repetition), shuffled.
+    let mut jobs: Vec<(usize, usize)> = (0..16)
+        .flat_map(|c| (0..plan.runs_per_config).map(move |r| (c, r)))
+        .collect();
+    let mut order_rng = SeedStream::new(plan.seed).stream("experiment-order", 0);
+    jobs.shuffle(&mut order_rng);
+
+    let results: Mutex<Vec<Vec<Vec<f64>>>> =
+        Mutex::new(vec![vec![Vec::new(); plan.runs_per_config]; 16]);
+    let next_job = AtomicUsize::new(0);
+    let jobs = &jobs;
+    let results_ref = &results;
+
+    std::thread::scope(|scope| {
+        for _ in 0..plan.threads.max(1) {
+            scope.spawn(|| loop {
+                let idx = next_job.fetch_add(1, Ordering::Relaxed);
+                if idx >= jobs.len() {
+                    break;
+                }
+                let (config_idx, rep) = jobs[idx];
+                let samples = run_one_experiment(plan, config_idx, rep);
+                results_ref.lock().expect("collector poisoned")[config_idx][rep] = samples;
+            });
+        }
+    });
+
+    let per_config = results.into_inner().expect("collector poisoned");
+    let cells = per_config
+        .into_iter()
+        .enumerate()
+        .map(|(config_idx, runs)| {
+            let levels = HardwareConfig::from_index(config_idx).levels();
+            Cell::new(levels, runs)
+        })
+        .collect();
+    Dataset {
+        cells,
+        target_rps: plan.target_rps,
+        workload_name: plan.workload.name().to_string(),
+    }
+}
+
+fn run_one_experiment(plan: &CollectionPlan, config_idx: usize, rep: usize) -> Vec<f64> {
+    let hardware = HardwareConfig::from_index(config_idx);
+    let test = LoadTest::new(Arc::clone(&plan.workload), plan.target_rps)
+        .clients(plan.clients)
+        .hardware(hardware)
+        .duration(plan.duration)
+        .warmup(plan.warmup)
+        .seed(SeedStream::new(plan.seed).derive("experiment", config_idx as u64));
+    let report = test.run(rep as u64);
+    let pooled = report.pooled_latencies();
+    subsample(
+        &pooled,
+        plan.samples_per_run,
+        SeedStream::new(plan.seed)
+            .child("subsample", config_idx as u64)
+            .stream("rep", rep as u64),
+    )
+}
+
+/// Randomly sub-samples `n` values (the paper's 20k per experiment);
+/// returns everything if fewer are available.
+fn subsample<R: Rng>(values: &[f64], n: usize, mut rng: R) -> Vec<f64> {
+    if values.len() <= n {
+        return values.to_vec();
+    }
+    let mut indices: Vec<usize> = (0..values.len()).collect();
+    indices.shuffle(&mut rng);
+    indices[..n].iter().map(|&i| values[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use treadmill_workloads::Memcached;
+
+    fn tiny_plan(seed: u64) -> CollectionPlan {
+        CollectionPlan {
+            runs_per_config: 2,
+            samples_per_run: 500,
+            clients: 2,
+            duration: SimDuration::from_millis(50),
+            warmup: SimDuration::from_millis(15),
+            seed,
+            threads: 8,
+            ..CollectionPlan::new(Arc::new(Memcached::default()), 300_000.0)
+        }
+    }
+
+    #[test]
+    fn collects_all_cells_and_runs() {
+        let dataset = collect(&tiny_plan(1));
+        assert_eq!(dataset.cells.len(), 16);
+        for (i, cell) in dataset.cells.iter().enumerate() {
+            assert_eq!(cell.num_runs(), 2, "cell {i}");
+            assert_eq!(cell.levels, HardwareConfig::from_index(i).levels());
+            assert!(cell.total_samples() > 0);
+        }
+        assert!(dataset.total_samples() <= 16 * 2 * 500);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let mut plan_a = tiny_plan(2);
+        plan_a.threads = 1;
+        let mut plan_b = tiny_plan(2);
+        plan_b.threads = 8;
+        let a = collect(&plan_a);
+        let b = collect(&plan_b);
+        for (ca, cb) in a.cells.iter().zip(&b.cells) {
+            assert_eq!(ca.runs(), cb.runs());
+        }
+    }
+
+    #[test]
+    fn subsample_caps_size() {
+        let values: Vec<f64> = (0..100).map(f64::from).collect();
+        let rng = SmallRng::seed_from_u64(1);
+        let sampled = subsample(&values, 10, rng);
+        assert_eq!(sampled.len(), 10);
+        for v in &sampled {
+            assert!(values.contains(v));
+        }
+        let rng = SmallRng::seed_from_u64(1);
+        assert_eq!(subsample(&values, 200, rng).len(), 100);
+    }
+
+    #[test]
+    fn flattened_pairs_levels_with_samples() {
+        let dataset = collect(&tiny_plan(3));
+        let flat = dataset.flattened();
+        assert_eq!(flat.len(), dataset.total_samples());
+        assert!(flat.iter().all(|(levels, v)| levels.len() == 4 && *v > 0.0));
+    }
+}

@@ -1,0 +1,207 @@
+//! Factor screening (§IV-B): "we list all the factors we suspect to
+//! have an impact … then we use null hypothesis testing on a large
+//! number of samples collected from repeated experiments under random
+//! permutations of all the factors, to identify the factors that
+//! actually have an impact on the tail latency."
+//!
+//! The screening procedure is generic over how an experiment runs: it
+//! draws random level assignments for every candidate factor, calls the
+//! caller's experiment function, and tests each factor's marginal
+//! effect with Welch's t-test on the per-run metric split by that
+//! factor's level. Because all factors are randomised simultaneously,
+//! the other factors act as noise — exactly the paper's setup.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use treadmill_stats::compare::welch_t_test;
+
+/// One candidate factor's screening verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScreeningResult {
+    /// Factor name.
+    pub factor: String,
+    /// Mean metric at the low level.
+    pub mean_low: f64,
+    /// Mean metric at the high level.
+    pub mean_high: f64,
+    /// Welch p-value of the level split.
+    pub p_value: f64,
+    /// True if significant at the chosen alpha.
+    pub significant: bool,
+}
+
+/// Options for [`screen_factors`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScreeningOptions {
+    /// Number of randomized experiments to run.
+    pub experiments: usize,
+    /// Significance level.
+    pub alpha: f64,
+    /// RNG seed for the level permutations.
+    pub seed: u64,
+}
+
+impl Default for ScreeningOptions {
+    fn default() -> Self {
+        ScreeningOptions {
+            experiments: 64,
+            alpha: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// Screens candidate factors: `run_experiment(levels, index)` executes
+/// one experiment with the given boolean level per factor and returns
+/// the metric of interest (e.g. that run's p99).
+///
+/// # Panics
+///
+/// Panics if there are no factors or fewer than 8 experiments.
+pub fn screen_factors(
+    factor_names: &[&str],
+    options: ScreeningOptions,
+    mut run_experiment: impl FnMut(&[bool], usize) -> f64,
+) -> Vec<ScreeningResult> {
+    assert!(!factor_names.is_empty(), "no factors to screen");
+    assert!(options.experiments >= 8, "need at least 8 experiments");
+    let mut rng = SmallRng::seed_from_u64(options.seed);
+    let mut assignments: Vec<Vec<bool>> = Vec::with_capacity(options.experiments);
+    let mut metrics: Vec<f64> = Vec::with_capacity(options.experiments);
+    for i in 0..options.experiments {
+        let levels: Vec<bool> = factor_names.iter().map(|_| rng.gen()).collect();
+        let metric = run_experiment(&levels, i);
+        assignments.push(levels);
+        metrics.push(metric);
+    }
+    factor_names
+        .iter()
+        .enumerate()
+        .map(|(fi, name)| {
+            let low: Vec<f64> = metrics
+                .iter()
+                .zip(&assignments)
+                .filter(|(_, levels)| !levels[fi])
+                .map(|(&m, _)| m)
+                .collect();
+            let high: Vec<f64> = metrics
+                .iter()
+                .zip(&assignments)
+                .filter(|(_, levels)| levels[fi])
+                .map(|(&m, _)| m)
+                .collect();
+            if low.len() < 2 || high.len() < 2 {
+                // Degenerate randomisation; report as inconclusive.
+                return ScreeningResult {
+                    factor: name.to_string(),
+                    mean_low: f64::NAN,
+                    mean_high: f64::NAN,
+                    p_value: 1.0,
+                    significant: false,
+                };
+            }
+            let cmp = welch_t_test(&low, &high);
+            ScreeningResult {
+                factor: name.to_string(),
+                mean_low: cmp.mean_a,
+                mean_high: cmp.mean_b,
+                p_value: cmp.p_value,
+                significant: cmp.p_value < options.alpha,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_real_factor_ignores_dummy() {
+        // Factor 0 shifts the metric by 20; factor 1 does nothing.
+        let mut noise_rng = SmallRng::seed_from_u64(42);
+        let results = screen_factors(
+            &["real", "dummy"],
+            ScreeningOptions {
+                experiments: 200,
+                alpha: 0.01,
+                seed: 0,
+            },
+            |levels, _| {
+                let noise: f64 = noise_rng.gen_range(0.0..4.0);
+                100.0 + if levels[0] { 20.0 } else { 0.0 } + noise
+            },
+        );
+        assert!(results[0].significant, "real factor: p {}", results[0].p_value);
+        assert!((results[0].mean_high - results[0].mean_low - 20.0).abs() < 2.0);
+        assert!(!results[1].significant, "dummy factor: p {}", results[1].p_value);
+    }
+
+    #[test]
+    fn interactions_do_not_hide_main_effects() {
+        // Effect only when both factors are high: both should screen in
+        // (each has a marginal effect of half the interaction).
+        let results = screen_factors(
+            &["a", "b"],
+            ScreeningOptions {
+                experiments: 400,
+                ..Default::default()
+            },
+            |levels, i| {
+                let noise = ((i * 40_503) % 50) as f64 / 20.0;
+                50.0 + if levels[0] && levels[1] { 30.0 } else { 0.0 } + noise
+            },
+        );
+        assert!(results[0].significant && results[1].significant);
+    }
+
+    #[test]
+    fn screening_on_the_simulator_flags_numa() {
+        use std::sync::Arc;
+        use treadmill_cluster::HardwareConfig;
+        use treadmill_core::LoadTest;
+        use treadmill_sim_core::SimDuration;
+        use treadmill_workloads::{Memcached, Workload};
+
+        let workload: Arc<dyn Workload> = Arc::new(Memcached::default());
+        let results = screen_factors(
+            &["numa", "turbo", "dvfs", "nic"],
+            ScreeningOptions {
+                experiments: 24,
+                alpha: 0.05,
+                seed: 7,
+            },
+            |levels, i| {
+                let index = levels
+                    .iter()
+                    .enumerate()
+                    .fold(0usize, |acc, (b, &on)| acc | (usize::from(on) << b));
+                LoadTest::new(Arc::clone(&workload), 750_000.0)
+                    .clients(4)
+                    .hardware(HardwareConfig::from_index(index))
+                    .duration(SimDuration::from_millis(120))
+                    .warmup(SimDuration::from_millis(30))
+                    .seed(1_000 + i as u64)
+                    .run(0)
+                    .aggregated
+                    .p99
+            },
+        );
+        let numa = &results[0];
+        assert!(
+            numa.significant,
+            "numa must screen in at high load: p {}",
+            numa.p_value
+        );
+        assert!(numa.mean_high > numa.mean_low);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8")]
+    fn too_few_experiments_rejected() {
+        screen_factors(&["a"], ScreeningOptions {
+            experiments: 2,
+            ..Default::default()
+        }, |_, _| 0.0);
+    }
+}

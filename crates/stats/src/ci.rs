@@ -1,0 +1,181 @@
+//! Confidence intervals for means and quantiles.
+
+use crate::distribution::{normal_cdf, normal_quantile};
+use crate::streaming::StreamingStats;
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lower: f64,
+    /// Upper bound.
+    pub upper: f64,
+    /// Confidence level, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Half-width of the interval.
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+
+    /// Half-width relative to the point estimate (`NaN` if the estimate
+    /// is zero).
+    pub fn relative_half_width(&self) -> f64 {
+        self.half_width() / self.estimate.abs()
+    }
+
+    /// True if `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower && value <= self.upper
+    }
+}
+
+/// Normal-approximation confidence interval for a mean.
+///
+/// # Panics
+///
+/// Panics if `level` is outside `(0, 1)` or the accumulator is empty.
+///
+/// # Examples
+///
+/// ```
+/// use treadmill_stats::ci::mean_confidence_interval;
+/// use treadmill_stats::StreamingStats;
+///
+/// let stats: StreamingStats = (0..1000).map(|i| (i % 10) as f64).collect();
+/// let ci = mean_confidence_interval(&stats, 0.95);
+/// assert!(ci.contains(4.5));
+/// ```
+pub fn mean_confidence_interval(stats: &StreamingStats, level: f64) -> ConfidenceInterval {
+    assert!(level > 0.0 && level < 1.0, "confidence level outside (0, 1)");
+    assert!(stats.count() > 0, "confidence interval of empty sample");
+    let z = normal_quantile(0.5 + level / 2.0);
+    let half = z * stats.standard_error();
+    ConfidenceInterval {
+        estimate: stats.mean(),
+        lower: stats.mean() - half,
+        upper: stats.mean() + half,
+        level,
+    }
+}
+
+/// Distribution-free confidence interval for the `p`-quantile of a
+/// **sorted** sample, based on the binomial distribution of order
+/// statistics (normal approximation to the binomial rank).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty, `p` outside `(0, 1)`, or `level` outside
+/// `(0, 1)`.
+pub fn quantile_confidence_interval(
+    sorted: &[f64],
+    p: f64,
+    level: f64,
+) -> ConfidenceInterval {
+    assert!(!sorted.is_empty(), "confidence interval of empty sample");
+    assert!(p > 0.0 && p < 1.0, "quantile probability outside (0, 1)");
+    assert!(level > 0.0 && level < 1.0, "confidence level outside (0, 1)");
+    let n = sorted.len() as f64;
+    let z = normal_quantile(0.5 + level / 2.0);
+    let se = (n * p * (1.0 - p)).sqrt();
+    let lower_rank = ((n * p - z * se).floor().max(0.0)) as usize;
+    let upper_rank = ((n * p + z * se).ceil() as usize).min(sorted.len() - 1);
+    let estimate = crate::quantile::quantile_of_sorted(sorted, p);
+    ConfidenceInterval {
+        estimate,
+        lower: sorted[lower_rank.min(sorted.len() - 1)],
+        upper: sorted[upper_rank],
+        level,
+    }
+}
+
+/// The achieved coverage probability of the order-statistic interval
+/// `[lower_rank, upper_rank]` for the `p`-quantile of an `n`-sample
+/// (normal approximation). Exposed for interval-design diagnostics.
+pub fn order_statistic_coverage(n: usize, p: f64, lower_rank: usize, upper_rank: usize) -> f64 {
+    let n = n as f64;
+    let mean = n * p;
+    let sd = (n * p * (1.0 - p)).sqrt();
+    if sd == 0.0 {
+        return 1.0;
+    }
+    let hi = (upper_rank as f64 + 0.5 - mean) / sd;
+    let lo = (lower_rank as f64 - 0.5 - mean) / sd;
+    (normal_cdf(hi) - normal_cdf(lo)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::sample_exponential;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_ci_shrinks_with_samples() {
+        let small: StreamingStats = (0..100).map(|i| (i % 7) as f64).collect();
+        let large: StreamingStats = (0..10_000).map(|i| (i % 7) as f64).collect();
+        let ci_small = mean_confidence_interval(&small, 0.95);
+        let ci_large = mean_confidence_interval(&large, 0.95);
+        assert!(ci_large.half_width() < ci_small.half_width());
+    }
+
+    #[test]
+    fn mean_ci_widens_with_level() {
+        let stats: StreamingStats = (0..1000).map(|i| (i % 13) as f64).collect();
+        let ci90 = mean_confidence_interval(&stats, 0.90);
+        let ci99 = mean_confidence_interval(&stats, 0.99);
+        assert!(ci99.half_width() > ci90.half_width());
+        assert_eq!(ci90.estimate, ci99.estimate);
+    }
+
+    #[test]
+    fn quantile_ci_brackets_truth() {
+        // Exponential(10): true p90 = 10 ln 10 ≈ 23.03.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut hits = 0;
+        let trials = 50;
+        for _ in 0..trials {
+            let mut data: Vec<f64> =
+                (0..2_000).map(|_| sample_exponential(&mut rng, 10.0)).collect();
+            data.sort_by(f64::total_cmp);
+            let ci = quantile_confidence_interval(&data, 0.9, 0.95);
+            if ci.contains(10.0 * 10.0f64.ln()) {
+                hits += 1;
+            }
+        }
+        // Should cover ~95% of the time; allow slack for 50 trials.
+        assert!(hits >= 42, "coverage {hits}/{trials}");
+    }
+
+    #[test]
+    fn coverage_increases_with_interval_width() {
+        let narrow = order_statistic_coverage(1000, 0.9, 895, 905);
+        let wide = order_statistic_coverage(1000, 0.9, 870, 930);
+        assert!(wide > narrow);
+        assert!(wide <= 1.0 && narrow >= 0.0);
+    }
+
+    #[test]
+    fn relative_half_width() {
+        let ci = ConfidenceInterval {
+            estimate: 100.0,
+            lower: 90.0,
+            upper: 110.0,
+            level: 0.95,
+        };
+        assert!((ci.relative_half_width() - 0.1).abs() < 1e-12);
+        assert!(ci.contains(100.0));
+        assert!(!ci.contains(89.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_panics() {
+        quantile_confidence_interval(&[], 0.5, 0.95);
+    }
+}

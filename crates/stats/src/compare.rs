@@ -1,0 +1,163 @@
+//! Statistically sound comparison of two measurement campaigns.
+//!
+//! When an operator wants to know "did this change help?", comparing a
+//! single run of each variant is exactly the hysteresis trap (§II-D).
+//! The sound procedure compares the *distributions of per-run metrics*
+//! using Welch's unequal-variance t-test, which this module provides,
+//! along with a convenience verdict type used by the comparison CLI.
+
+use crate::distribution::normal_cdf;
+use crate::streaming::StreamingStats;
+
+/// The result of a two-sample comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// Mean of the first sample.
+    pub mean_a: f64,
+    /// Mean of the second sample.
+    pub mean_b: f64,
+    /// Difference `mean_b - mean_a`.
+    pub difference: f64,
+    /// Welch's t statistic.
+    pub t_statistic: f64,
+    /// Welch–Satterthwaite degrees of freedom.
+    pub degrees_of_freedom: f64,
+    /// Two-sided p-value (normal approximation to the t distribution;
+    /// accurate for the ≥10-run campaigns the procedure prescribes).
+    pub p_value: f64,
+}
+
+impl Comparison {
+    /// True if the difference is significant at level `alpha`.
+    pub fn is_significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+
+    /// Relative change `(mean_b - mean_a) / mean_a`.
+    pub fn relative_change(&self) -> f64 {
+        self.difference / self.mean_a
+    }
+}
+
+/// Welch's t-test on two per-run metric samples (e.g. each variant's
+/// per-run p99s).
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than two values.
+///
+/// # Examples
+///
+/// ```
+/// use treadmill_stats::compare::welch_t_test;
+///
+/// let before = [100.0, 104.0, 98.0, 102.0, 101.0];
+/// let after = [80.0, 82.0, 79.0, 81.0, 80.5];
+/// let cmp = welch_t_test(&before, &after);
+/// assert!(cmp.is_significant(0.01));
+/// assert!(cmp.difference < -15.0);
+/// ```
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Comparison {
+    assert!(a.len() >= 2 && b.len() >= 2, "need at least two runs per side");
+    let sa: StreamingStats = a.iter().copied().collect();
+    let sb: StreamingStats = b.iter().copied().collect();
+    let var_a = sa.sample_variance() / a.len() as f64;
+    let var_b = sb.sample_variance() / b.len() as f64;
+    let se = (var_a + var_b).sqrt();
+    let difference = sb.mean() - sa.mean();
+    let t = if se > 0.0 { difference / se } else { 0.0 };
+    let df = if var_a + var_b > 0.0 {
+        (var_a + var_b).powi(2)
+            / (var_a.powi(2) / (a.len() as f64 - 1.0)
+                + var_b.powi(2) / (b.len() as f64 - 1.0))
+    } else {
+        (a.len() + b.len()) as f64 - 2.0
+    };
+    // Normal approximation with a light small-sample correction: scale
+    // the statistic toward zero as df shrinks (matches t-tail closely
+    // for df >= 8).
+    let correction = (df / (df + 1.2)).sqrt();
+    let p_value = if se == 0.0 {
+        if difference == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        (2.0 * (1.0 - normal_cdf((t * correction).abs()))).clamp(0.0, 1.0)
+    };
+    Comparison {
+        mean_a: sa.mean(),
+        mean_b: sb.mean(),
+        difference,
+        t_statistic: t,
+        degrees_of_freedom: df,
+        p_value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::sample_standard_normal;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn detects_a_real_difference() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let a: Vec<f64> = (0..20)
+            .map(|_| 100.0 + sample_standard_normal(&mut rng) * 3.0)
+            .collect();
+        let b: Vec<f64> = (0..20)
+            .map(|_| 90.0 + sample_standard_normal(&mut rng) * 3.0)
+            .collect();
+        let cmp = welch_t_test(&a, &b);
+        assert!(cmp.is_significant(0.001), "p = {}", cmp.p_value);
+        assert!((cmp.difference + 10.0).abs() < 3.0);
+        assert!(cmp.relative_change() < -0.05);
+    }
+
+    #[test]
+    fn null_difference_is_insignificant_most_of_the_time() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rejections = 0;
+        let trials = 200;
+        for _ in 0..trials {
+            let a: Vec<f64> = (0..10)
+                .map(|_| 50.0 + sample_standard_normal(&mut rng) * 5.0)
+                .collect();
+            let b: Vec<f64> = (0..10)
+                .map(|_| 50.0 + sample_standard_normal(&mut rng) * 5.0)
+                .collect();
+            if welch_t_test(&a, &b).is_significant(0.05) {
+                rejections += 1;
+            }
+        }
+        // Should reject ~5% of the time; allow generous slack.
+        assert!(rejections < trials / 8, "false positives: {rejections}/{trials}");
+    }
+
+    #[test]
+    fn unequal_variances_handled() {
+        let a = [10.0, 10.1, 9.9, 10.0, 10.05, 9.95];
+        let b = [20.0, 5.0, 35.0, 12.0, 28.0, 2.0];
+        let cmp = welch_t_test(&a, &b);
+        // Welch df should be pulled toward the noisy sample's df.
+        assert!(cmp.degrees_of_freedom < 7.0, "df {}", cmp.degrees_of_freedom);
+    }
+
+    #[test]
+    fn identical_samples_give_p_one() {
+        let a = [5.0, 5.0, 5.0];
+        let cmp = welch_t_test(&a, &a);
+        assert_eq!(cmp.p_value, 1.0);
+        assert_eq!(cmp.difference, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_run_rejected() {
+        welch_t_test(&[1.0], &[2.0, 3.0]);
+    }
+}

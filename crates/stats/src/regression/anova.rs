@@ -1,0 +1,255 @@
+//! Classic fixed-effects ANOVA for 2-level factorial designs.
+//!
+//! The paper positions quantile regression *against* ANOVA (§IV-A):
+//! "the classic ANOVA technique assumes normally distributed residuals
+//! and equality of variances … and can only attribute the variance of
+//! the sample means". This module implements that classic technique —
+//! per-term sums of squares with F statistics — so the comparison can
+//! be made quantitatively (see the `ext02_anova` experiment).
+//!
+//! For a balanced 2-level factorial with orthogonal ±1 contrasts, each
+//! term's sum of squares is `N · (effect/2)²` where `effect` is the
+//! contrast mean difference; we compute it directly from the design.
+
+use crate::distribution::normal_cdf;
+use crate::regression::design::FactorialDesign;
+
+/// One row of an ANOVA table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnovaRow {
+    /// Term label (e.g. `"numa:dvfs"`).
+    pub term: String,
+    /// Sum of squares attributed to the term.
+    pub sum_of_squares: f64,
+    /// Degrees of freedom (1 for every 2-level term).
+    pub degrees_of_freedom: usize,
+    /// F statistic against the residual mean square.
+    pub f_statistic: f64,
+    /// Approximate p-value (normal approximation of √F, adequate for
+    /// the residual dfs of real campaigns).
+    pub p_value: f64,
+    /// Fraction of the total (corrected) sum of squares.
+    pub variance_share: f64,
+}
+
+/// A complete ANOVA decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnovaTable {
+    /// Term rows (intercept excluded), in design order.
+    pub rows: Vec<AnovaRow>,
+    /// Residual sum of squares.
+    pub residual_ss: f64,
+    /// Residual degrees of freedom.
+    pub residual_df: usize,
+    /// Total corrected sum of squares.
+    pub total_ss: f64,
+}
+
+impl AnovaTable {
+    /// Fraction of variance the model explains (classic R²).
+    pub fn r_squared(&self) -> f64 {
+        if self.total_ss == 0.0 {
+            1.0
+        } else {
+            1.0 - self.residual_ss / self.total_ss
+        }
+    }
+
+    /// The row for a term label.
+    pub fn term(&self, label: &str) -> Option<&AnovaRow> {
+        self.rows.iter().find(|r| r.term == label)
+    }
+}
+
+/// Runs fixed-effects ANOVA over per-observation responses grouped by
+/// configuration levels.
+///
+/// `observations` holds `(levels, y)` pairs; levels are 0/1 coded as
+/// everywhere else in this crate.
+///
+/// # Panics
+///
+/// Panics if there are fewer observations than model terms, or levels
+/// have inconsistent arity.
+pub fn anova(
+    design: &FactorialDesign,
+    observations: &[(Vec<f64>, f64)],
+) -> AnovaTable {
+    let n = observations.len();
+    let p = design.num_terms();
+    assert!(n > p, "ANOVA needs more observations than terms (n={n}, p={p})");
+
+    let grand_mean = observations.iter().map(|(_, y)| y).sum::<f64>() / n as f64;
+    let total_ss: f64 = observations
+        .iter()
+        .map(|(_, y)| (y - grand_mean).powi(2))
+        .sum();
+
+    // Orthogonal contrasts: convert 0/1 coding to ±1. For a balanced
+    // design, each term's effect = mean(y · contrast) and its SS is
+    // n · effect².
+    let labels = design.term_labels();
+    let mut rows = Vec::with_capacity(p - 1);
+    let mut model_ss = 0.0;
+    for (t, label) in labels.iter().enumerate().skip(1) {
+        let mut dot = 0.0;
+        for (levels, y) in observations {
+            assert_eq!(levels.len(), design.num_factors(), "level arity");
+            let x = design.row(levels)[t];
+            let contrast = 2.0 * x - contrast_offset(design, t, levels);
+            dot += contrast * y;
+        }
+        let effect = dot / n as f64;
+        let ss = n as f64 * effect * effect;
+        model_ss += ss;
+        rows.push((label.clone(), ss));
+    }
+    let residual_ss = (total_ss - model_ss).max(0.0);
+    let residual_df = n - p;
+    let residual_ms = residual_ss / residual_df.max(1) as f64;
+
+    let rows = rows
+        .into_iter()
+        .map(|(term, ss)| {
+            let f = if residual_ms > 0.0 { ss / residual_ms } else { f64::INFINITY };
+            // √F ~ |t| with residual_df dof; normal approximation.
+            let z = f.sqrt();
+            let p_value = (2.0 * (1.0 - normal_cdf(z))).clamp(0.0, 1.0);
+            AnovaRow {
+                term,
+                sum_of_squares: ss,
+                degrees_of_freedom: 1,
+                f_statistic: f,
+                p_value,
+                variance_share: if total_ss > 0.0 { ss / total_ss } else { 0.0 },
+            }
+        })
+        .collect();
+
+    AnovaTable {
+        rows,
+        residual_ss,
+        residual_df,
+        total_ss,
+    }
+}
+
+/// The ±1 contrast for term `t` is the product of ±1-coded factors in
+/// the term; with 0/1 inputs, each factor contributes `2x − 1`. Since
+/// `design.row` gives the *product of the 0/1 levels*, we recompute the
+/// ±1 product here via the offset trick: for single factors the
+/// contrast is `2x − 1`; for interactions it is the product of the
+/// members' `2x − 1` values. This helper returns the value such that
+/// `2 * row_value - offset` equals that product for the given levels.
+fn contrast_offset(design: &FactorialDesign, term: usize, levels: &[f64]) -> f64 {
+    // Compute the true ±1 contrast directly, then derive the offset.
+    let labels = design.term_labels();
+    let label = &labels[term];
+    let names = design.factor_names();
+    let mut contrast = 1.0;
+    for part in label.split(':') {
+        let idx = names
+            .iter()
+            .position(|n| n == part)
+            .expect("term references a known factor");
+        contrast *= 2.0 * levels[idx] - 1.0;
+    }
+    // 2 * row - offset = contrast  =>  offset = 2 * row - contrast.
+    2.0 * design.row(levels)[term] - contrast
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn balanced_observations(
+        f: impl Fn(&[f64]) -> f64,
+        replicates: usize,
+        noise: impl Fn(usize) -> f64,
+    ) -> Vec<(Vec<f64>, f64)> {
+        let design = FactorialDesign::full(&["a", "b"]);
+        let mut obs = Vec::new();
+        let mut i = 0;
+        for levels in design.all_configurations() {
+            for _ in 0..replicates {
+                obs.push((levels.clone(), f(&levels) + noise(i)));
+                i += 1;
+            }
+        }
+        obs
+    }
+
+    #[test]
+    fn main_effect_dominates_decomposition() {
+        let design = FactorialDesign::full(&["a", "b"]);
+        let obs = balanced_observations(
+            |lv| 10.0 + 8.0 * lv[0],
+            10,
+            |i| (i % 5) as f64 * 0.1,
+        );
+        let table = anova(&design, &obs);
+        let a = table.term("a").unwrap();
+        assert!(a.variance_share > 0.9, "share {}", a.variance_share);
+        assert!(a.p_value < 1e-6);
+        let b = table.term("b").unwrap();
+        assert!(b.variance_share < 0.01);
+        assert!(table.r_squared() > 0.95);
+    }
+
+    #[test]
+    fn interaction_detected() {
+        let design = FactorialDesign::full(&["a", "b"]);
+        let obs = balanced_observations(
+            |lv| 5.0 + 4.0 * lv[0] * lv[1],
+            8,
+            |i| (i % 3) as f64 * 0.05,
+        );
+        let table = anova(&design, &obs);
+        let ab = table.term("a:b").unwrap();
+        assert!(ab.p_value < 1e-6, "p {}", ab.p_value);
+        // With 0/1 coding, x1*x2 contributes to mains too (non-centred),
+        // but the ±1 contrast decomposition attributes SS to all three
+        // terms; the interaction must carry a substantial share.
+        assert!(ab.variance_share > 0.2, "share {}", ab.variance_share);
+    }
+
+    #[test]
+    fn pure_noise_explains_nothing() {
+        let design = FactorialDesign::full(&["a", "b"]);
+        let obs = balanced_observations(
+            |_| 100.0,
+            16,
+            |i| ((i * 2_654_435_761) % 97) as f64 / 10.0,
+        );
+        let table = anova(&design, &obs);
+        assert!(table.r_squared() < 0.2, "r2 {}", table.r_squared());
+        for row in &table.rows {
+            assert!(row.variance_share < 0.1);
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_at_most_one() {
+        let design = FactorialDesign::full(&["a", "b"]);
+        let obs = balanced_observations(
+            |lv| 1.0 + lv[0] + 2.0 * lv[1],
+            4,
+            |i| (i % 7) as f64 * 0.2,
+        );
+        let table = anova(&design, &obs);
+        let total_share: f64 = table.rows.iter().map(|r| r.variance_share).sum();
+        assert!(total_share <= 1.0 + 1e-9, "shares {total_share}");
+        assert!((table.total_ss - (table.residual_ss
+            + table.rows.iter().map(|r| r.sum_of_squares).sum::<f64>()))
+        .abs()
+            < 1e-6 * table.total_ss.max(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "more observations")]
+    fn underdetermined_rejected() {
+        let design = FactorialDesign::full(&["a", "b"]);
+        let obs = vec![(vec![0.0, 0.0], 1.0)];
+        anova(&design, &obs);
+    }
+}

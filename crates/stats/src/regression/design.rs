@@ -1,0 +1,253 @@
+//! Full-factorial experiment designs with interaction terms.
+
+use crate::linalg::Matrix;
+
+/// A 2-level factorial design over named factors, expanded with
+/// interaction terms up to a chosen order (Eq. 1 in the paper).
+///
+/// Factors are coded `0.0` (low level) / `1.0` (high level) as in the
+/// paper (§V-A). The first term is always the intercept.
+///
+/// # Examples
+///
+/// ```
+/// use treadmill_stats::regression::FactorialDesign;
+///
+/// let design = FactorialDesign::full(&["numa", "turbo"]);
+/// assert_eq!(
+///     design.term_labels(),
+///     vec!["(Intercept)", "numa", "turbo", "numa:turbo"],
+/// );
+/// let row = design.row(&[1.0, 1.0]);
+/// assert_eq!(row, vec![1.0, 1.0, 1.0, 1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FactorialDesign {
+    factor_names: Vec<String>,
+    // Each term is the set of factor indices multiplied together; the
+    // empty set is the intercept. Ordered by (order, lexicographic index).
+    terms: Vec<Vec<usize>>,
+}
+
+impl FactorialDesign {
+    /// A design with all interactions up to `max_order`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no factors, more than 16 factors, or
+    /// `max_order` is zero.
+    pub fn with_interactions(factor_names: &[&str], max_order: usize) -> Self {
+        assert!(!factor_names.is_empty(), "design needs at least one factor");
+        assert!(factor_names.len() <= 16, "too many factors for a full factorial");
+        assert!(max_order >= 1, "interaction order must be at least 1");
+        let k = factor_names.len();
+        let mut terms: Vec<Vec<usize>> = vec![Vec::new()];
+        for order in 1..=max_order.min(k) {
+            let mut combo: Vec<usize> = (0..order).collect();
+            loop {
+                terms.push(combo.clone());
+                // Next combination of `order` out of `k`.
+                let mut i = order;
+                loop {
+                    if i == 0 {
+                        break;
+                    }
+                    i -= 1;
+                    if combo[i] != i + k - order {
+                        combo[i] += 1;
+                        for j in i + 1..order {
+                            combo[j] = combo[j - 1] + 1;
+                        }
+                        break;
+                    }
+                    if i == 0 {
+                        combo.clear();
+                        break;
+                    }
+                }
+                if combo.is_empty() {
+                    break;
+                }
+            }
+        }
+        FactorialDesign {
+            factor_names: factor_names.iter().map(|s| s.to_string()).collect(),
+            terms,
+        }
+    }
+
+    /// The fully saturated design: all interactions of every order.
+    ///
+    /// For `k` factors this has `2^k` terms, so per-cell quantiles are
+    /// interpolated exactly.
+    pub fn full(factor_names: &[&str]) -> Self {
+        Self::with_interactions(factor_names, factor_names.len())
+    }
+
+    /// Number of factors.
+    pub fn num_factors(&self) -> usize {
+        self.factor_names.len()
+    }
+
+    /// Number of model terms (including the intercept).
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Factor names as given at construction.
+    pub fn factor_names(&self) -> &[String] {
+        &self.factor_names
+    }
+
+    /// Human-readable term labels: `(Intercept)`, `a`, `a:b`, …
+    pub fn term_labels(&self) -> Vec<String> {
+        self.terms
+            .iter()
+            .map(|term| {
+                if term.is_empty() {
+                    "(Intercept)".to_string()
+                } else {
+                    term.iter()
+                        .map(|&i| self.factor_names[i].as_str())
+                        .collect::<Vec<_>>()
+                        .join(":")
+                }
+            })
+            .collect()
+    }
+
+    /// Expands one configuration's factor levels into a design-matrix
+    /// row (products of the involved factors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len()` differs from the number of factors.
+    pub fn row(&self, levels: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            levels.len(),
+            self.factor_names.len(),
+            "level vector length mismatch"
+        );
+        self.terms
+            .iter()
+            .map(|term| term.iter().map(|&i| levels[i]).product())
+            .collect()
+    }
+
+    /// Builds the design matrix for many configurations.
+    pub fn design_matrix(&self, configurations: &[Vec<f64>]) -> Matrix {
+        let p = self.num_terms();
+        let mut m = Matrix::zeros(configurations.len(), p);
+        for (r, levels) in configurations.iter().enumerate() {
+            for (c, v) in self.row(levels).into_iter().enumerate() {
+                m[(r, c)] = v;
+            }
+        }
+        m
+    }
+
+    /// Predicts the response for `levels` given fitted `coefficients`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coefficients.len()` differs from [`Self::num_terms`].
+    pub fn predict(&self, coefficients: &[f64], levels: &[f64]) -> f64 {
+        assert_eq!(coefficients.len(), self.num_terms(), "coefficient length mismatch");
+        self.row(levels)
+            .iter()
+            .zip(coefficients)
+            .map(|(x, c)| x * c)
+            .sum()
+    }
+
+    /// Enumerates all `2^k` corner configurations in binary order
+    /// (factor 0 is the least-significant bit).
+    pub fn all_configurations(&self) -> Vec<Vec<f64>> {
+        let k = self.num_factors();
+        (0..(1usize << k))
+            .map(|bits| {
+                (0..k)
+                    .map(|i| if bits >> i & 1 == 1 { 1.0 } else { 0.0 })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_design_has_2k_terms() {
+        let d = FactorialDesign::full(&["numa", "turbo", "dvfs", "nic"]);
+        assert_eq!(d.num_terms(), 16);
+        let labels = d.term_labels();
+        assert_eq!(labels[0], "(Intercept)");
+        assert!(labels.contains(&"numa:turbo:dvfs:nic".to_string()));
+        assert!(labels.contains(&"dvfs:nic".to_string()));
+    }
+
+    #[test]
+    fn limited_interaction_order() {
+        let d = FactorialDesign::with_interactions(&["a", "b", "c"], 2);
+        // 1 intercept + 3 mains + 3 pairwise.
+        assert_eq!(d.num_terms(), 7);
+        assert!(!d.term_labels().contains(&"a:b:c".to_string()));
+    }
+
+    #[test]
+    fn row_products() {
+        let d = FactorialDesign::full(&["a", "b"]);
+        assert_eq!(d.row(&[0.0, 0.0]), vec![1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(d.row(&[1.0, 0.0]), vec![1.0, 1.0, 0.0, 0.0]);
+        assert_eq!(d.row(&[0.0, 1.0]), vec![1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(d.row(&[1.0, 1.0]), vec![1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn paper_prediction_example() {
+        // §V-B: p95 estimate for numa+turbo high = intercept + numa +
+        // turbo + numa:turbo = 155 + 24 - 12 + 5 = 172us.
+        let d = FactorialDesign::full(&["numa", "turbo"]);
+        // Terms: intercept, numa, turbo, numa:turbo.
+        let coef = vec![155.0, 24.0, -12.0, 5.0];
+        let pred = d.predict(&coef, &[1.0, 1.0]);
+        assert!((pred - 172.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn design_matrix_of_all_configurations_is_square_and_invertible() {
+        let d = FactorialDesign::full(&["a", "b", "c", "d"]);
+        let configs = d.all_configurations();
+        assert_eq!(configs.len(), 16);
+        let m = d.design_matrix(&configs);
+        // Invertible: solve for arbitrary rhs without error.
+        let rhs: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let beta = m.solve(&rhs).unwrap();
+        let back = m.mul_vec(&beta);
+        for (a, b) in back.iter().zip(&rhs) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn all_configurations_binary_order() {
+        let d = FactorialDesign::full(&["a", "b"]);
+        assert_eq!(
+            d.all_configurations(),
+            vec![
+                vec![0.0, 0.0],
+                vec![1.0, 0.0],
+                vec![0.0, 1.0],
+                vec![1.0, 1.0],
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn row_checks_arity() {
+        FactorialDesign::full(&["a", "b"]).row(&[1.0]);
+    }
+}

@@ -1,0 +1,154 @@
+//! The pinball (check) loss and the paper's pseudo-R² (Eqs. 2–4).
+
+/// The weight the τ-quantile loss assigns to a prediction error
+/// (Eq. 4): `τ` for underestimation (`err >= 0`, since
+/// `err = observed - predicted`), `1 - τ` for overestimation.
+///
+/// # Examples
+///
+/// ```
+/// use treadmill_stats::regression::check_weight;
+///
+/// assert_eq!(check_weight(0.99, 5.0), 0.99);   // underestimated
+/// assert!((check_weight(0.99, -5.0) - 0.01).abs() < 1e-12); // overestimated
+/// ```
+pub fn check_weight(tau: f64, err: f64) -> f64 {
+    if err < 0.0 {
+        1.0 - tau
+    } else {
+        tau
+    }
+}
+
+/// The pinball loss of one prediction error: `w(τ, err) * |err|`.
+pub fn pinball_loss(tau: f64, err: f64) -> f64 {
+    check_weight(tau, err) * err.abs()
+}
+
+/// Total pinball loss of a prediction vector.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn total_pinball_loss(tau: f64, observed: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(observed.len(), predicted.len(), "length mismatch");
+    observed
+        .iter()
+        .zip(predicted)
+        .map(|(&y, &p)| pinball_loss(tau, y - p))
+        .sum()
+}
+
+/// The paper's pseudo-R² (Eq. 2): one minus the ratio of the model's
+/// total pinball loss to the loss of the best constant model (the
+/// unconditional τ-quantile of the observations).
+///
+/// Returns a value in `(-inf, 1]`; the paper reports ≥ 0.9 for its fits.
+/// A value of 0 means the model is no better than the constant; values
+/// below 0 mean it is worse.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+///
+/// # Examples
+///
+/// ```
+/// use treadmill_stats::regression::pseudo_r_squared;
+///
+/// let y = [1.0, 2.0, 3.0, 4.0];
+/// // Perfect predictions: pseudo-R² = 1.
+/// assert_eq!(pseudo_r_squared(0.9, &y, &y), 1.0);
+/// ```
+pub fn pseudo_r_squared(tau: f64, observed: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(observed.len(), predicted.len(), "length mismatch");
+    assert!(!observed.is_empty(), "pseudo-R² of empty sample");
+    let model_loss = total_pinball_loss(tau, observed, predicted);
+    let constant = crate::quantile::quantile(observed, tau);
+    let constant_loss: f64 = observed
+        .iter()
+        .map(|&y| pinball_loss(tau, y - constant))
+        .sum();
+    if constant_loss == 0.0 {
+        return if model_loss == 0.0 { 1.0 } else { f64::NEG_INFINITY };
+    }
+    1.0 - model_loss / constant_loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn weights_match_eq4() {
+        assert_eq!(check_weight(0.95, 1.0), 0.95);
+        assert_eq!(check_weight(0.95, 0.0), 0.95); // err >= 0 branch
+        assert!((check_weight(0.95, -1.0) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pinball_is_asymmetric() {
+        // At τ = 0.99 underestimating by 10 costs 99x more than
+        // overestimating by 10 costs at weight (1-τ).
+        let under = pinball_loss(0.99, 10.0);
+        let over = pinball_loss(0.99, -10.0);
+        assert!((under / over - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_quantile_minimises_pinball() {
+        // The τ-quantile is the argmin of mean pinball loss.
+        let data: Vec<f64> = (1..=101).map(f64::from).collect();
+        let tau = 0.9;
+        let q = crate::quantile::quantile(&data, tau);
+        let loss_at = |c: f64| -> f64 {
+            data.iter().map(|&y| pinball_loss(tau, y - c)).sum()
+        };
+        let at_quantile = loss_at(q);
+        for delta in [-5.0, -1.0, 1.0, 5.0] {
+            assert!(loss_at(q + delta) >= at_quantile - 1e-9);
+        }
+    }
+
+    #[test]
+    fn pseudo_r2_zero_for_constant_model() {
+        let y: Vec<f64> = (1..=100).map(f64::from).collect();
+        let tau = 0.95;
+        let constant = crate::quantile::quantile(&y, tau);
+        let predictions = vec![constant; y.len()];
+        let r2 = pseudo_r_squared(tau, &y, &predictions);
+        assert!(r2.abs() < 1e-9, "r2 = {r2}");
+    }
+
+    #[test]
+    fn pseudo_r2_negative_for_bad_model() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let predictions = [100.0, 100.0, 100.0, 100.0];
+        assert!(pseudo_r_squared(0.5, &y, &predictions) < 0.0);
+    }
+
+    #[test]
+    fn degenerate_constant_data() {
+        let y = [5.0, 5.0, 5.0];
+        assert_eq!(pseudo_r_squared(0.9, &y, &y), 1.0);
+        assert_eq!(pseudo_r_squared(0.9, &y, &[5.0, 5.0, 6.0]), f64::NEG_INFINITY);
+    }
+
+    proptest! {
+        #[test]
+        fn pinball_loss_nonnegative(tau in 0.01f64..0.99, err in -1e6f64..1e6) {
+            prop_assert!(pinball_loss(tau, err) >= 0.0);
+        }
+
+        #[test]
+        fn pseudo_r2_at_most_one(
+            y in prop::collection::vec(0.0f64..1e3, 2..100),
+            shift in -10.0f64..10.0,
+            tau in 0.05f64..0.95,
+        ) {
+            let pred: Vec<f64> = y.iter().map(|v| v + shift).collect();
+            prop_assert!(pseudo_r_squared(tau, &y, &pred) <= 1.0 + 1e-12);
+        }
+    }
+}

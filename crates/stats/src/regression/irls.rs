@@ -1,0 +1,242 @@
+//! Smoothed iteratively-reweighted-least-squares quantile regression.
+//!
+//! Follows Schlossmacher's IRLS scheme adapted to the asymmetric check
+//! loss: each iteration solves a weighted least-squares problem with
+//! weights `w_i = check_weight(τ, r_i) / max(|r_i|, ε)`. The ε floor is
+//! the smoothing that keeps weights bounded; as ε → 0 the fixed point
+//! approaches the exact quantile-regression solution.
+//!
+//! The paper perturbs its (all-dummy) regressors with 0.01-σ noise to
+//! keep the optimiser out of degenerate corners (§V-A); callers can do
+//! the same via [`IrlsOptions::jitter`].
+
+use crate::linalg::{Matrix, SolveError};
+use crate::regression::fit::check_weight;
+use rand::Rng;
+
+/// Options for [`quantile_regression_irls`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrlsOptions {
+    /// Maximum IRLS iterations.
+    pub max_iterations: usize,
+    /// Stop when the max coefficient change falls below this.
+    pub tolerance: f64,
+    /// Residual smoothing floor (ε).
+    pub epsilon: f64,
+    /// Standard deviation of optional response jitter (0 disables); the
+    /// paper uses 0.01 standard deviations of symmetric perturbation.
+    pub jitter: f64,
+}
+
+impl Default for IrlsOptions {
+    fn default() -> Self {
+        IrlsOptions {
+            max_iterations: 200,
+            tolerance: 1e-8,
+            epsilon: 1e-6,
+            jitter: 0.0,
+        }
+    }
+}
+
+/// Fits quantile-regression coefficients by smoothed IRLS.
+///
+/// # Errors
+///
+/// Returns [`SolveError`] if a weighted least-squares step encounters a
+/// singular system (e.g. collinear design columns).
+///
+/// # Panics
+///
+/// Panics if `tau` is outside `(0, 1)` or `y.len()` differs from the
+/// design row count.
+///
+/// # Examples
+///
+/// ```
+/// use treadmill_stats::linalg::Matrix;
+/// use treadmill_stats::regression::{quantile_regression_irls, IrlsOptions};
+///
+/// // y = 10 + 2x, exactly. Any quantile line equals the data line.
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let mut design = Matrix::zeros(4, 2);
+/// let mut y = Vec::new();
+/// for (i, &x) in xs.iter().enumerate() {
+///     design[(i, 0)] = 1.0;
+///     design[(i, 1)] = x;
+///     y.push(10.0 + 2.0 * x);
+/// }
+/// let beta = quantile_regression_irls(&design, &y, 0.9, &IrlsOptions::default())?;
+/// assert!((beta[0] - 10.0).abs() < 1e-3);
+/// assert!((beta[1] - 2.0).abs() < 1e-3);
+/// # Ok::<(), treadmill_stats::linalg::SolveError>(())
+/// ```
+pub fn quantile_regression_irls(
+    design: &Matrix,
+    y: &[f64],
+    tau: f64,
+    options: &IrlsOptions,
+) -> Result<Vec<f64>, SolveError> {
+    assert!(tau > 0.0 && tau < 1.0, "quantile level {tau} outside (0, 1)");
+    assert_eq!(y.len(), design.rows(), "response length mismatch");
+    let n = design.rows();
+    let p = design.cols();
+
+    let y = if options.jitter > 0.0 {
+        let sd = jitter_scale(y) * options.jitter;
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(0x7A17_7E12);
+        y.iter()
+            .map(|&v| v + (rng.gen::<f64>() - 0.5) * 2.0 * sd)
+            .collect()
+    } else {
+        y.to_vec()
+    };
+
+    // Start from the least-squares fit.
+    let mut beta = design.solve_least_squares(&y)?;
+    for _ in 0..options.max_iterations {
+        let fitted = design.mul_vec(&beta);
+        // Weighted least squares: scale each row and response by sqrt(w).
+        let mut scaled = Matrix::zeros(n, p);
+        let mut scaled_y = vec![0.0; n];
+        for i in 0..n {
+            let r = y[i] - fitted[i];
+            let w = check_weight(tau, r) / r.abs().max(options.epsilon);
+            let sw = w.sqrt();
+            for j in 0..p {
+                scaled[(i, j)] = design[(i, j)] * sw;
+            }
+            scaled_y[i] = y[i] * sw;
+        }
+        let next = scaled.solve_least_squares(&scaled_y)?;
+        let delta = beta
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        beta = next;
+        if delta < options.tolerance {
+            break;
+        }
+    }
+    Ok(beta)
+}
+
+fn jitter_scale(y: &[f64]) -> f64 {
+    if y.len() < 2 {
+        return 0.0;
+    }
+    let mean = y.iter().sum::<f64>() / y.len() as f64;
+    let var = y.iter().map(|&v| (v - mean).powi(2)).sum::<f64>() / (y.len() - 1) as f64;
+    var.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::sample_exponential;
+    use crate::regression::fit::total_pinball_loss;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn line_design(xs: &[f64]) -> Matrix {
+        let mut m = Matrix::zeros(xs.len(), 2);
+        for (i, &x) in xs.iter().enumerate() {
+            m[(i, 0)] = 1.0;
+            m[(i, 1)] = x;
+        }
+        m
+    }
+
+    #[test]
+    fn median_regression_of_symmetric_noise_recovers_line() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 4_000;
+        let xs: Vec<f64> = (0..n).map(|i| (i % 100) as f64 / 10.0).collect();
+        let design = line_design(&xs);
+        let y: Vec<f64> = xs
+            .iter()
+            .map(|&x| {
+                5.0 + 1.5 * x
+                    + crate::distribution::sample_standard_normal(&mut rng) * 2.0
+            })
+            .collect();
+        let beta =
+            quantile_regression_irls(&design, &y, 0.5, &IrlsOptions::default()).unwrap();
+        assert!((beta[0] - 5.0).abs() < 0.25, "intercept {}", beta[0]);
+        assert!((beta[1] - 1.5).abs() < 0.05, "slope {}", beta[1]);
+    }
+
+    #[test]
+    fn upper_quantile_sits_above_median() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 4_000;
+        let xs: Vec<f64> = (0..n).map(|i| (i % 50) as f64).collect();
+        let design = line_design(&xs);
+        let y: Vec<f64> = xs
+            .iter()
+            .map(|&x| 10.0 + x + sample_exponential(&mut rng, 5.0))
+            .collect();
+        let b50 =
+            quantile_regression_irls(&design, &y, 0.5, &IrlsOptions::default()).unwrap();
+        let b95 =
+            quantile_regression_irls(&design, &y, 0.95, &IrlsOptions::default()).unwrap();
+        // Exponential noise: q50 offset = 5 ln 2 ≈ 3.47, q95 = 5 ln 20 ≈ 14.98.
+        assert!(b95[0] > b50[0] + 5.0, "p95 intercept {} vs p50 {}", b95[0], b50[0]);
+        // Slopes should both be ≈ 1 (noise independent of x).
+        assert!((b50[1] - 1.0).abs() < 0.05);
+        assert!((b95[1] - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn irls_loss_close_to_exhaustive_optimum() {
+        // Intercept-only model: exact optimum is the empirical quantile.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let y: Vec<f64> = (0..2_001).map(|_| sample_exponential(&mut rng, 7.0)).collect();
+        let design = {
+            let mut m = Matrix::zeros(y.len(), 1);
+            for i in 0..y.len() {
+                m[(i, 0)] = 1.0;
+            }
+            m
+        };
+        let tau = 0.9;
+        let beta = quantile_regression_irls(&design, &y, tau, &IrlsOptions::default())
+            .unwrap();
+        let exact = crate::quantile::quantile(&y, tau);
+        let irls_loss = total_pinball_loss(tau, &y, &vec![beta[0]; y.len()]);
+        let exact_loss = total_pinball_loss(tau, &y, &vec![exact; y.len()]);
+        assert!(
+            irls_loss <= exact_loss * 1.01,
+            "IRLS loss {irls_loss} vs exact {exact_loss}"
+        );
+    }
+
+    #[test]
+    fn jitter_does_not_move_solution_materially() {
+        let xs: Vec<f64> = (0..500).map(|i| (i % 10) as f64).collect();
+        let design = line_design(&xs);
+        let y: Vec<f64> = xs.iter().map(|&x| 3.0 + 2.0 * x).collect();
+        let clean =
+            quantile_regression_irls(&design, &y, 0.5, &IrlsOptions::default()).unwrap();
+        let jittered = quantile_regression_irls(
+            &design,
+            &y,
+            0.5,
+            &IrlsOptions {
+                jitter: 0.01,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!((clean[0] - jittered[0]).abs() < 0.5);
+        assert!((clean[1] - jittered[1]).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn tau_bounds_checked() {
+        let design = Matrix::identity(2);
+        let _ = quantile_regression_irls(&design, &[1.0, 2.0], 1.0, &IrlsOptions::default());
+    }
+}

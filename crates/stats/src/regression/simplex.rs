@@ -1,0 +1,309 @@
+//! Exact quantile regression via the simplex method.
+//!
+//! Quantile regression is a linear program (Koenker, 2005). With the
+//! coefficient vector split into positive parts `β = β⁺ − β⁻` and
+//! residuals into `u − v` (`u, v ≥ 0`):
+//!
+//! ```text
+//! min  Σ τ·uᵢ + (1−τ)·vᵢ
+//! s.t. X β⁺ − X β⁻ + u − v = y,   β⁺, β⁻, u, v ≥ 0
+//! ```
+//!
+//! This module implements a dense primal simplex with Bland's rule
+//! (guaranteeing termination). It is intended as an **exact oracle** for
+//! small problems — testing the IRLS and saturated solvers — not as the
+//! production path for millions of samples.
+
+use crate::linalg::{Matrix, SolveError};
+
+const EPS: f64 = 1e-9;
+
+/// Solves the quantile-regression LP exactly.
+///
+/// Returns the coefficient vector of length `design.cols()`.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Singular`] if the simplex basis degenerates
+/// numerically (should not happen for well-posed inputs).
+///
+/// # Panics
+///
+/// Panics if `tau` is outside `(0, 1)`, the response length mismatches
+/// the design, or the problem is empty.
+///
+/// # Examples
+///
+/// ```
+/// use treadmill_stats::linalg::Matrix;
+/// use treadmill_stats::regression::quantile_regression_exact;
+///
+/// // Intercept-only model: the solution is the empirical τ-quantile.
+/// let y = [1.0, 2.0, 3.0, 4.0, 100.0];
+/// let mut design = Matrix::zeros(5, 1);
+/// for i in 0..5 { design[(i, 0)] = 1.0; }
+/// let beta = quantile_regression_exact(&design, &y, 0.5)?;
+/// assert_eq!(beta[0], 3.0);
+/// # Ok::<(), treadmill_stats::linalg::SolveError>(())
+/// ```
+pub fn quantile_regression_exact(
+    design: &Matrix,
+    y: &[f64],
+    tau: f64,
+) -> Result<Vec<f64>, SolveError> {
+    assert!(tau > 0.0 && tau < 1.0, "quantile level {tau} outside (0, 1)");
+    assert_eq!(y.len(), design.rows(), "response length mismatch");
+    assert!(design.rows() > 0 && design.cols() > 0, "empty problem");
+
+    let n = design.rows();
+    let p = design.cols();
+    let num_vars = 2 * p + 2 * n; // β⁺, β⁻, u, v
+    let u0 = 2 * p;
+    let v0 = 2 * p + n;
+
+    // Tableau rows: n constraints; columns: variables + rhs.
+    // Rows are sign-normalised so the initial basis (uᵢ if yᵢ ≥ 0 else
+    // vᵢ) is an identity submatrix.
+    let mut tableau = vec![vec![0.0f64; num_vars + 1]; n];
+    let mut basis = vec![0usize; n];
+    for i in 0..n {
+        let sign = if y[i] >= 0.0 { 1.0 } else { -1.0 };
+        for j in 0..p {
+            tableau[i][j] = sign * design[(i, j)];
+            tableau[i][p + j] = -sign * design[(i, j)];
+        }
+        tableau[i][u0 + i] = sign;
+        tableau[i][v0 + i] = -sign;
+        tableau[i][num_vars] = sign * y[i];
+        basis[i] = if y[i] >= 0.0 { u0 + i } else { v0 + i };
+    }
+
+    let mut cost = vec![0.0f64; num_vars];
+    for i in 0..n {
+        cost[u0 + i] = tau;
+        cost[v0 + i] = 1.0 - tau;
+    }
+
+    // Reduced costs: z_j - c_j where z_j = c_B' B^{-1} A_j. Since the
+    // basis starts as an identity with basic costs c_B, maintain the
+    // objective row explicitly.
+    let mut obj = vec![0.0f64; num_vars + 1];
+    for j in 0..=num_vars {
+        let mut z = 0.0;
+        for i in 0..n {
+            z += cost_of(&cost, basis[i]) * tableau[i][j];
+        }
+        obj[j] = z - if j < num_vars { cost[j] } else { 0.0 };
+    }
+
+    // Primal simplex with Bland's rule.
+    let max_pivots = 50_000usize.max(200 * n);
+    for _ in 0..max_pivots {
+        // Entering: smallest index with positive reduced cost.
+        let entering = match (0..num_vars).find(|&j| obj[j] > EPS) {
+            Some(j) => j,
+            None => break, // optimal
+        };
+        // Leaving: min ratio, ties by smallest basis index (Bland).
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..n {
+            let a = tableau[i][entering];
+            if a > EPS {
+                let ratio = tableau[i][num_vars] / a;
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && leaving.is_some_and(|l| basis[i] < basis[l]));
+                if better {
+                    best_ratio = ratio;
+                    leaving = Some(i);
+                }
+            }
+        }
+        let Some(row) = leaving else {
+            // Unbounded: cannot happen for this LP (objective bounded
+            // below by 0), so treat as numerical failure.
+            return Err(SolveError::Singular);
+        };
+        pivot(&mut tableau, &mut obj, row, entering, num_vars);
+        basis[row] = entering;
+    }
+
+    let mut beta = vec![0.0f64; p];
+    for (i, &b) in basis.iter().enumerate() {
+        let value = tableau[i][num_vars];
+        if b < p {
+            beta[b] += value;
+        } else if b < 2 * p {
+            beta[b - p] -= value;
+        }
+    }
+    Ok(beta)
+}
+
+fn cost_of(cost: &[f64], var: usize) -> f64 {
+    cost[var]
+}
+
+fn pivot(
+    tableau: &mut [Vec<f64>],
+    obj: &mut [f64],
+    row: usize,
+    col: usize,
+    num_vars: usize,
+) {
+    let pivot_val = tableau[row][col];
+    for j in 0..=num_vars {
+        tableau[row][j] /= pivot_val;
+    }
+    for i in 0..tableau.len() {
+        if i == row {
+            continue;
+        }
+        let factor = tableau[i][col];
+        if factor.abs() < EPS {
+            continue;
+        }
+        for j in 0..=num_vars {
+            tableau[i][j] -= factor * tableau[row][j];
+        }
+    }
+    let factor = obj[col];
+    if factor.abs() > EPS {
+        for j in 0..=num_vars {
+            obj[j] -= factor * tableau[row][j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regression::fit::total_pinball_loss;
+    use crate::regression::{quantile_regression_irls, IrlsOptions};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn intercept_design(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, 1);
+        for i in 0..n {
+            m[(i, 0)] = 1.0;
+        }
+        m
+    }
+
+    #[test]
+    fn intercept_only_returns_a_quantile_minimiser() {
+        let y = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        for &tau in &[0.25, 0.5, 0.75, 0.9] {
+            let design = intercept_design(y.len());
+            let beta = quantile_regression_exact(&design, &y, tau).unwrap();
+            let lp_loss = total_pinball_loss(tau, &y, &vec![beta[0]; y.len()]);
+            // Compare against every data point as candidate constant
+            // (an optimal constant is always a data point).
+            let best = y
+                .iter()
+                .map(|&c| total_pinball_loss(tau, &y, &vec![c; y.len()]))
+                .fold(f64::INFINITY, f64::min);
+            assert!(lp_loss <= best + 1e-9, "tau {tau}: {lp_loss} vs {best}");
+        }
+    }
+
+    #[test]
+    fn negative_responses_handled() {
+        let y = [-5.0, -1.0, 0.0, 2.0, 7.0];
+        let design = intercept_design(y.len());
+        let beta = quantile_regression_exact(&design, &y, 0.5).unwrap();
+        assert_eq!(beta[0], 0.0);
+    }
+
+    #[test]
+    fn two_regressor_fit_matches_interpolation_property() {
+        // With p regressors in general position the QR solution
+        // interpolates exactly p data points.
+        let mut rng = SmallRng::seed_from_u64(8);
+        let n = 40;
+        let mut design = Matrix::zeros(n, 2);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let x: f64 = rng.gen_range(0.0..10.0);
+            design[(i, 0)] = 1.0;
+            design[(i, 1)] = x;
+            y.push(2.0 + 0.5 * x + rng.gen_range(-1.0..1.0));
+        }
+        let beta = quantile_regression_exact(&design, &y, 0.5).unwrap();
+        let interpolated = (0..n)
+            .filter(|&i| {
+                let fitted = beta[0] + beta[1] * design[(i, 1)];
+                (fitted - y[i]).abs() < 1e-7
+            })
+            .count();
+        assert!(interpolated >= 2, "only {interpolated} points interpolated");
+    }
+
+    #[test]
+    fn exact_loss_lower_or_equal_to_irls() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 120;
+        let mut design = Matrix::zeros(n, 3);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = rng.gen_range(0.0..1.0);
+            let b = rng.gen_range(0.0..1.0);
+            design[(i, 0)] = 1.0;
+            design[(i, 1)] = a;
+            design[(i, 2)] = b;
+            y.push(1.0 + 2.0 * a - b + rng.gen_range(0.0..3.0));
+        }
+        for &tau in &[0.5, 0.9] {
+            let exact = quantile_regression_exact(&design, &y, tau).unwrap();
+            let approx =
+                quantile_regression_irls(&design, &y, tau, &IrlsOptions::default()).unwrap();
+            let exact_loss = total_pinball_loss(tau, &y, &design.mul_vec(&exact));
+            let approx_loss = total_pinball_loss(tau, &y, &design.mul_vec(&approx));
+            assert!(
+                exact_loss <= approx_loss + 1e-6,
+                "tau {tau}: exact {exact_loss} > irls {approx_loss}"
+            );
+            // IRLS should also be close to optimal.
+            assert!(
+                approx_loss <= exact_loss * 1.05 + 1e-6,
+                "tau {tau}: irls {approx_loss} far from optimal {exact_loss}"
+            );
+        }
+    }
+
+    #[test]
+    fn factorial_design_cells_recover_cell_quantiles() {
+        // 2 factors, 4 cells with distinct levels; saturated design:
+        // the LP must interpolate per-cell medians.
+        use crate::regression::FactorialDesign;
+        let fdesign = FactorialDesign::full(&["a", "b"]);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let cell_medians = [10.0, 20.0, 30.0, 70.0];
+        for (idx, levels) in fdesign.all_configurations().into_iter().enumerate() {
+            for offset in [-1.0, 0.0, 1.0] {
+                rows.push(levels.clone());
+                y.push(cell_medians[idx] + offset);
+            }
+        }
+        let design = fdesign.design_matrix(&rows);
+        let beta = quantile_regression_exact(&design, &y, 0.5).unwrap();
+        for (idx, levels) in fdesign.all_configurations().into_iter().enumerate() {
+            let pred = fdesign.predict(&beta, &levels);
+            assert!(
+                (pred - cell_medians[idx]).abs() < 1e-7,
+                "cell {idx}: {pred} vs {}",
+                cell_medians[idx]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn tau_checked() {
+        let design = intercept_design(2);
+        let _ = quantile_regression_exact(&design, &[1.0, 2.0], 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Streaming moments via Welford's online algorithm.
+
+/// Numerically stable streaming mean / variance / extrema.
+///
+/// # Examples
+///
+/// ```
+/// use treadmill_stats::StreamingStats;
+///
+/// let mut stats = StreamingStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     stats.record(x);
+/// }
+/// assert_eq!(stats.count(), 8);
+/// assert!((stats.mean() - 5.0).abs() < 1e-12);
+/// assert!((stats.population_variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamingStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        StreamingStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by `n`), or 0 if empty.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (divides by `n - 1`), or 0 if fewer than two
+    /// observations.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn sample_stddev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn standard_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sample_stddev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation, or `+inf` if empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation, or `-inf` if empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for StreamingStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut stats = StreamingStats::new();
+        for x in iter {
+            stats.record(x);
+        }
+        stats
+    }
+}
+
+impl Extend<f64> for StreamingStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.record(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_is_well_defined() {
+        let s = StreamingStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.standard_error(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let s: StreamingStats = [3.5].into_iter().collect();
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.min(), 3.5);
+        assert_eq!(s.max(), 3.5);
+    }
+
+    #[test]
+    fn merge_matches_combined_stream() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).sin() * 10.0 + 5.0).collect();
+        let combined: StreamingStats = data.iter().copied().collect();
+        let mut left: StreamingStats = data[..37].iter().copied().collect();
+        let right: StreamingStats = data[37..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), combined.count());
+        assert!((left.mean() - combined.mean()).abs() < 1e-9);
+        assert!((left.sample_variance() - combined.sample_variance()).abs() < 1e-9);
+        assert_eq!(left.min(), combined.min());
+        assert_eq!(left.max(), combined.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut s: StreamingStats = [1.0, 2.0].into_iter().collect();
+        let before = s.clone();
+        s.merge(&StreamingStats::new());
+        assert_eq!(s, before);
+        let mut empty = StreamingStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut s = StreamingStats::new();
+        s.extend([1.0, 2.0, 3.0]);
+        assert_eq!(s.count(), 3);
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn mean_is_bounded_by_extrema(data in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s: StreamingStats = data.iter().copied().collect();
+            prop_assert!(s.mean() >= s.min() - 1e-9);
+            prop_assert!(s.mean() <= s.max() + 1e-9);
+        }
+
+        #[test]
+        fn variance_is_nonnegative(data in prop::collection::vec(-1e6f64..1e6, 0..200)) {
+            let s: StreamingStats = data.iter().copied().collect();
+            prop_assert!(s.population_variance() >= -1e-9);
+            prop_assert!(s.sample_variance() >= -1e-9);
+        }
+
+        #[test]
+        fn merge_is_order_insensitive(
+            a in prop::collection::vec(-1e3f64..1e3, 0..50),
+            b in prop::collection::vec(-1e3f64..1e3, 0..50),
+        ) {
+            let sa: StreamingStats = a.iter().copied().collect();
+            let sb: StreamingStats = b.iter().copied().collect();
+            let mut ab = sa.clone();
+            ab.merge(&sb);
+            let mut ba = sb.clone();
+            ba.merge(&sa);
+            prop_assert_eq!(ab.count(), ba.count());
+            prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+            prop_assert!((ab.m2 - ba.m2).abs() < 1e-6);
+        }
+    }
+}

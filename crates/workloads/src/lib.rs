@@ -1,0 +1,48 @@
+//! Workload models for the Treadmill reproduction.
+//!
+//! The paper stresses two properties of Treadmill's workload handling
+//! (§III-A): **generality** — "each integration takes less than 200
+//! lines of code" — and **configurable workload characteristics** — "a
+//! JSON formatted configuration file can be used to describe the
+//! workload characteristics (e.g., request size distribution)".
+//!
+//! This crate provides both:
+//!
+//! * the [`Workload`] trait — the small surface a new service model must
+//!   implement,
+//! * [`Memcached`] and [`Mcrouter`] — the two Facebook workloads the
+//!   paper evaluates,
+//! * [`SizeDistribution`] — composable request/value size distributions,
+//! * [`WorkloadSpec`] — the serde/JSON configuration layer that builds a
+//!   workload from a config file.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use treadmill_workloads::{Memcached, Workload};
+//!
+//! let workload = Memcached::default();
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! let profile = workload.sample_request(&mut rng);
+//! assert!(profile.cpu_ns > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mcrouter;
+mod memcached;
+mod popularity;
+mod profile;
+mod sizes;
+mod spec;
+mod synthetic;
+
+pub use mcrouter::Mcrouter;
+pub use popularity::ZipfSampler;
+pub use memcached::{Memcached, MemcachedOp};
+pub use profile::{OpClass, RequestProfile, Workload};
+pub use sizes::SizeDistribution;
+pub use spec::{SpecError, WorkloadSpec};
+pub use synthetic::Synthetic;

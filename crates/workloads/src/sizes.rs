@@ -1,0 +1,240 @@
+//! Configurable size distributions for keys, values and payloads.
+
+use rand::{Rng, RngCore};
+use serde::{Deserialize, Serialize};
+use treadmill_stats::distribution::{sample_lognormal, sample_pareto};
+
+/// A distribution over byte sizes, configurable from JSON (the paper's
+/// "request size distribution" knob, §III-A).
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use treadmill_workloads::SizeDistribution;
+///
+/// let dist: SizeDistribution =
+///     serde_json::from_str(r#"{ "kind": "pareto", "minimum": 64, "shape": 1.5, "cap": 8192 }"#)?;
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let size = dist.sample(&mut rng);
+/// assert!((64..=8192).contains(&size));
+/// # Ok::<(), serde_json::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "lowercase")]
+pub enum SizeDistribution {
+    /// Every draw returns the same size.
+    Fixed {
+        /// The constant size in bytes.
+        bytes: u32,
+    },
+    /// Uniform over `[low, high]` inclusive.
+    Uniform {
+        /// Smallest size.
+        low: u32,
+        /// Largest size.
+        high: u32,
+    },
+    /// Pareto (heavy-tailed) with a hard cap; matches the published
+    /// Memcached value-size measurements (Atikoglu et al., SIGMETRICS'12).
+    Pareto {
+        /// Scale (minimum) in bytes.
+        minimum: u32,
+        /// Tail index; smaller is heavier.
+        shape: f64,
+        /// Hard upper bound in bytes.
+        cap: u32,
+    },
+    /// Lognormal parameterised by the underlying normal, with a cap.
+    Lognormal {
+        /// Mean of ln(size).
+        mu: f64,
+        /// Std dev of ln(size).
+        sigma: f64,
+        /// Hard upper bound in bytes.
+        cap: u32,
+    },
+    /// A discrete mixture of other distributions with proportional
+    /// weights.
+    Mixture {
+        /// `(weight, distribution)` components; weights need not sum to 1.
+        components: Vec<(f64, SizeDistribution)>,
+    },
+}
+
+impl SizeDistribution {
+    /// Draws one size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution is malformed (e.g. empty mixture,
+    /// uniform with `low > high`).
+    pub fn sample(&self, rng: &mut dyn RngCore) -> u32 {
+        match self {
+            SizeDistribution::Fixed { bytes } => *bytes,
+            SizeDistribution::Uniform { low, high } => {
+                assert!(low <= high, "uniform with low > high");
+                rng.gen_range(*low..=*high)
+            }
+            SizeDistribution::Pareto { minimum, shape, cap } => {
+                let draw = sample_pareto(rng, f64::from(*minimum), *shape);
+                (draw as u32).min(*cap).max(*minimum)
+            }
+            SizeDistribution::Lognormal { mu, sigma, cap } => {
+                let draw = sample_lognormal(rng, *mu, *sigma);
+                (draw as u32).min(*cap).max(1)
+            }
+            SizeDistribution::Mixture { components } => {
+                assert!(!components.is_empty(), "empty mixture");
+                let total: f64 = components.iter().map(|(w, _)| w).sum();
+                assert!(total > 0.0, "mixture weights sum to zero");
+                let mut pick = rng.gen_range(0.0..total);
+                for (weight, dist) in components {
+                    if pick < *weight {
+                        return dist.sample(rng);
+                    }
+                    pick -= weight;
+                }
+                components[components.len() - 1].1.sample(rng)
+            }
+        }
+    }
+
+    /// The exact or approximate mean of the distribution, in bytes.
+    pub fn mean(&self) -> f64 {
+        match self {
+            SizeDistribution::Fixed { bytes } => f64::from(*bytes),
+            SizeDistribution::Uniform { low, high } => {
+                (f64::from(*low) + f64::from(*high)) / 2.0
+            }
+            SizeDistribution::Pareto { minimum, shape, cap } => {
+                if *shape > 1.0 {
+                    let uncapped = *shape * f64::from(*minimum) / (*shape - 1.0);
+                    uncapped.min(f64::from(*cap))
+                } else {
+                    // Infinite-mean regime: the cap dominates; use a
+                    // crude capped estimate.
+                    (f64::from(*minimum) * f64::from(*cap)).sqrt()
+                }
+            }
+            SizeDistribution::Lognormal { mu, sigma, cap } => {
+                (mu + sigma * sigma / 2.0).exp().min(f64::from(*cap))
+            }
+            SizeDistribution::Mixture { components } => {
+                let total: f64 = components.iter().map(|(w, _)| w).sum();
+                components
+                    .iter()
+                    .map(|(w, d)| w * d.mean())
+                    .sum::<f64>()
+                    / total
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_is_constant() {
+        let d = SizeDistribution::Fixed { bytes: 100 };
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 100);
+        }
+        assert_eq!(d.mean(), 100.0);
+    }
+
+    #[test]
+    fn uniform_within_bounds_and_mean() {
+        let d = SizeDistribution::Uniform { low: 10, high: 20 };
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut sum = 0.0;
+        let n = 20_000;
+        for _ in 0..n {
+            let s = d.sample(&mut rng);
+            assert!((10..=20).contains(&s));
+            sum += f64::from(s);
+        }
+        assert!((sum / f64::from(n) - 15.0).abs() < 0.1);
+        assert_eq!(d.mean(), 15.0);
+    }
+
+    #[test]
+    fn pareto_respects_cap_and_minimum() {
+        let d = SizeDistribution::Pareto {
+            minimum: 64,
+            shape: 1.2,
+            cap: 4096,
+        };
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..5_000 {
+            let s = d.sample(&mut rng);
+            assert!((64..=4096).contains(&s));
+        }
+    }
+
+    #[test]
+    fn pareto_mean_formula() {
+        let d = SizeDistribution::Pareto {
+            minimum: 100,
+            shape: 2.0,
+            cap: 1_000_000,
+        };
+        // shape/(shape-1) * min = 200.
+        assert_eq!(d.mean(), 200.0);
+    }
+
+    #[test]
+    fn mixture_draws_from_all_components() {
+        let d = SizeDistribution::Mixture {
+            components: vec![
+                (1.0, SizeDistribution::Fixed { bytes: 1 }),
+                (1.0, SizeDistribution::Fixed { bytes: 1_000 }),
+            ],
+        };
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut small = 0;
+        let mut large = 0;
+        for _ in 0..2_000 {
+            match d.sample(&mut rng) {
+                1 => small += 1,
+                1_000 => large += 1,
+                other => panic!("unexpected draw {other}"),
+            }
+        }
+        assert!(small > 800 && large > 800, "small {small}, large {large}");
+        assert!((d.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let d = SizeDistribution::Mixture {
+            components: vec![
+                (0.9, SizeDistribution::Fixed { bytes: 64 }),
+                (
+                    0.1,
+                    SizeDistribution::Pareto {
+                        minimum: 128,
+                        shape: 1.5,
+                        cap: 8192,
+                    },
+                ),
+            ],
+        };
+        let json = serde_json::to_string(&d).unwrap();
+        let back: SizeDistribution = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty mixture")]
+    fn empty_mixture_panics() {
+        let d = SizeDistribution::Mixture { components: vec![] };
+        let mut rng = SmallRng::seed_from_u64(5);
+        d.sample(&mut rng);
+    }
+}

@@ -1,0 +1,219 @@
+//! JSON workload configuration (the paper's §III-A "Configurable
+//! workload": "a JSON formatted configuration file can be used to
+//! describe the workload characteristics … and fed into Treadmill").
+
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::mcrouter::Mcrouter;
+use crate::memcached::Memcached;
+use crate::profile::Workload;
+
+/// Errors from parsing a workload specification.
+#[derive(Debug)]
+pub enum SpecError {
+    /// The JSON was syntactically or structurally invalid.
+    Json(serde_json::Error),
+    /// The configuration parsed but is semantically invalid.
+    Invalid(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Json(e) => write!(f, "invalid workload JSON: {e}"),
+            SpecError::Invalid(msg) => write!(f, "invalid workload configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecError::Json(e) => Some(e),
+            SpecError::Invalid(_) => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for SpecError {
+    fn from(e: serde_json::Error) -> Self {
+        SpecError::Json(e)
+    }
+}
+
+/// A declarative workload description, loadable from JSON.
+///
+/// # Examples
+///
+/// ```
+/// use treadmill_workloads::WorkloadSpec;
+///
+/// let spec = WorkloadSpec::from_json(
+///     r#"{ "workload": "memcached", "config": { "get_fraction": 0.95 } }"#,
+/// )?;
+/// let workload = spec.build()?;
+/// assert_eq!(workload.name(), "memcached");
+/// # Ok::<(), treadmill_workloads::SpecError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Which workload to build: `"memcached"` or `"mcrouter"`.
+    pub workload: String,
+    /// Workload-specific overrides, merged over the defaults.
+    #[serde(default)]
+    pub config: serde_json::Value,
+}
+
+impl WorkloadSpec {
+    /// Parses a spec from a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Json`] on malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, SpecError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Builds the configured workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] for unknown workload names and
+    /// [`SpecError::Json`] for config fields that don't match the
+    /// workload's schema.
+    pub fn build(&self) -> Result<Arc<dyn Workload>, SpecError> {
+        match self.workload.as_str() {
+            "memcached" => {
+                let w: Memcached = merge_over_default(&self.config, &Memcached::default())?;
+                validate_fraction("get_fraction", w.get_fraction)?;
+                Ok(Arc::new(w))
+            }
+            "mcrouter" => {
+                let w: Mcrouter = merge_over_default(&self.config, &Mcrouter::default())?;
+                Ok(Arc::new(w))
+            }
+            other => Err(SpecError::Invalid(format!(
+                "unknown workload {other:?}; expected \"memcached\" or \"mcrouter\""
+            ))),
+        }
+    }
+}
+
+fn merge_over_default<T>(overrides: &serde_json::Value, default: &T) -> Result<T, SpecError>
+where
+    T: Serialize + for<'de> Deserialize<'de>,
+{
+    let mut base = serde_json::to_value(default)?;
+    if let (Some(base_map), Some(over_map)) = (base.as_object_mut(), overrides.as_object()) {
+        for (k, v) in over_map {
+            base_map.insert(k.clone(), v.clone());
+        }
+    } else if !overrides.is_null() {
+        return Err(SpecError::Invalid(
+            "workload config must be a JSON object".to_string(),
+        ));
+    }
+    Ok(serde_json::from_value(base)?)
+}
+
+fn validate_fraction(name: &str, value: f64) -> Result<(), SpecError> {
+    if (0.0..=1.0).contains(&value) {
+        Ok(())
+    } else {
+        Err(SpecError::Invalid(format!(
+            "{name} must lie in [0, 1], got {value}"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_default_memcached() {
+        let spec = WorkloadSpec::from_json(r#"{ "workload": "memcached" }"#).unwrap();
+        let w = spec.build().unwrap();
+        assert_eq!(w.name(), "memcached");
+    }
+
+    #[test]
+    fn builds_mcrouter_with_overrides() {
+        let spec = WorkloadSpec::from_json(
+            r#"{ "workload": "mcrouter", "config": { "base_cpu_ns": 12000.0 } }"#,
+        )
+        .unwrap();
+        let w = spec.build().unwrap();
+        assert_eq!(w.name(), "mcrouter");
+        // Mean reflects the override: 12000 + per-byte + mem.
+        assert!(w.mean_service_ns() > 12_000.0);
+    }
+
+    #[test]
+    fn overrides_merge_over_defaults() {
+        let spec = WorkloadSpec::from_json(
+            r#"{ "workload": "memcached", "config": { "get_fraction": 0.5 } }"#,
+        )
+        .unwrap();
+        let value = serde_json::to_value(&spec.config).unwrap();
+        assert_eq!(value["get_fraction"], 0.5);
+        let w = spec.build().unwrap();
+        assert_eq!(w.name(), "memcached");
+    }
+
+    #[test]
+    fn size_distribution_override() {
+        let spec = WorkloadSpec::from_json(
+            r#"{
+                "workload": "memcached",
+                "config": {
+                    "value_size": { "kind": "fixed", "bytes": 100 }
+                }
+            }"#,
+        )
+        .unwrap();
+        assert!(spec.build().is_ok());
+    }
+
+    #[test]
+    fn unknown_workload_rejected() {
+        let spec = WorkloadSpec::from_json(r#"{ "workload": "mysql" }"#).unwrap();
+        let err = spec.build().unwrap_err();
+        assert!(err.to_string().contains("mysql"));
+    }
+
+    #[test]
+    fn invalid_fraction_rejected() {
+        let spec = WorkloadSpec::from_json(
+            r#"{ "workload": "memcached", "config": { "get_fraction": 1.5 } }"#,
+        )
+        .unwrap();
+        assert!(matches!(spec.build(), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(
+            WorkloadSpec::from_json("{ nope"),
+            Err(SpecError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn non_object_config_rejected() {
+        let spec = WorkloadSpec::from_json(
+            r#"{ "workload": "memcached", "config": [1, 2, 3] }"#,
+        )
+        .unwrap();
+        assert!(matches!(spec.build(), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = SpecError::Invalid("boom".to_string());
+        assert!(err.to_string().contains("boom"));
+    }
+}

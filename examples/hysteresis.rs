@@ -1,0 +1,45 @@
+//! Performance hysteresis (§II-D): within one run the p99 estimate
+//! converges; across restarts it converges to *different* values, so
+//! only repeated experiments give a trustworthy answer.
+//!
+//! ```sh
+//! cargo run --release --example hysteresis
+//! ```
+
+use std::sync::Arc;
+
+use treadmill::core::{ConvergenceTracker, LoadTest};
+use treadmill::sim::SimDuration;
+use treadmill::workloads::Memcached;
+
+fn main() {
+    // The interleaved-NUMA configuration has the strongest per-restart
+    // placement variation.
+    let test = LoadTest::new(Arc::new(Memcached::default()), 750_000.0)
+        .hardware(treadmill::cluster::HardwareConfig::from_index(1))
+        .clients(4)
+        .duration(SimDuration::from_millis(250))
+        .warmup(SimDuration::from_millis(60))
+        .seed(3);
+
+    let mut tracker = ConvergenceTracker::new(4, 0.04, 0.95);
+    println!("run   p99(us)   remote-buffer fraction (the hidden state)");
+    for run in 0..10u64 {
+        let report = test.run(run);
+        tracker.record(report.aggregated.p99);
+        println!(
+            "{run:>3}   {:7.1}   {:.2}",
+            report.aggregated.p99, report.run.run_remote_fraction
+        );
+        if tracker.converged() {
+            println!("-- mean converged after {} runs --", tracker.runs());
+            break;
+        }
+    }
+    println!(
+        "\nmean p99 = {:.1}us, spread across restarts = {:.1}us ({:.0}% of mean)",
+        tracker.mean(),
+        tracker.stddev(),
+        tracker.stddev() / tracker.mean() * 100.0
+    );
+}

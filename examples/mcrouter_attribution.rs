@@ -1,0 +1,55 @@
+//! End-to-end tail-latency attribution for mcrouter: run the 2^4
+//! factorial campaign, fit quantile regression at p99, print the
+//! significant factors, and recommend a configuration (§IV–V).
+//!
+//! ```sh
+//! cargo run --release --example mcrouter_attribution
+//! ```
+
+use std::sync::Arc;
+
+use treadmill::inference::{
+    attribute, average_factor_impacts, collect, model_pseudo_r_squared, CollectionPlan,
+};
+use treadmill::sim::SimDuration;
+use treadmill::workloads::Mcrouter;
+
+fn main() {
+    let plan = CollectionPlan {
+        runs_per_config: 4,
+        samples_per_run: 4_000,
+        clients: 4,
+        duration: SimDuration::from_millis(250),
+        warmup: SimDuration::from_millis(60),
+        seed: 5,
+        ..CollectionPlan::new(Arc::new(Mcrouter::default()), 700_000.0)
+    };
+    println!(
+        "running {} experiments ({} per configuration) ...",
+        plan.total_experiments(),
+        plan.runs_per_config
+    );
+    let dataset = collect(&plan);
+    let model = attribute(&dataset, 0.99, 200, 5);
+
+    println!("\nsignificant p99 effects (p < 0.05):");
+    for coef in &model.coefficients {
+        if coef.term != "(Intercept)" && coef.is_significant(0.05) {
+            println!(
+                "  {:<22} {:+7.1}us  (se {:.1}, p {:.3})",
+                coef.term, coef.estimate, coef.std_error, coef.p_value
+            );
+        }
+    }
+
+    println!("\naverage impact of enabling each factor:");
+    for impact in average_factor_impacts(&model) {
+        println!("  {:<6} {:+7.1}us", impact.factor, impact.average_impact_us);
+    }
+
+    println!(
+        "\nmodel pseudo-R2 = {:.2}",
+        model_pseudo_r_squared(&dataset, &model)
+    );
+    println!("recommended configuration for p99: {}", model.best_config());
+}

@@ -1,0 +1,55 @@
+//! A complete Memcached measurement campaign driven by a JSON
+//! configuration file — the paper's §III-A "configurable workload" —
+//! including the repeated-run procedure that defeats performance
+//! hysteresis.
+//!
+//! ```sh
+//! cargo run --release --example memcached_load_test
+//! ```
+
+use treadmill::core::{run_until_converged, ExperimentOptions, LoadTestConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The whole test is data: workload mix, sizes, rate, clients.
+    let config = LoadTestConfig::from_json(
+        r#"{
+            "workload": {
+                "workload": "memcached",
+                "config": {
+                    "get_fraction": 0.95,
+                    "value_size": { "kind": "pareto", "minimum": 128, "shape": 1.5, "cap": 8192 }
+                }
+            },
+            "target_rps": 600000,
+            "clients": 8,
+            "connections_per_client": 16,
+            "duration_ms": 300,
+            "warmup_ms": 80,
+            "seed": 7
+        }"#,
+    )?;
+    println!("configuration:\n{}\n", config.to_json());
+    let test = config.build()?;
+
+    // One run is not enough: restarts converge to different values
+    // (§II-D). Repeat until the mean of per-run p99s converges.
+    let outcome = run_until_converged(
+        &test,
+        ExperimentOptions {
+            min_runs: 4,
+            max_runs: 12,
+            relative_tolerance: 0.05,
+            confidence: 0.95,
+        },
+        0,
+    );
+    println!("runs performed: {} (converged: {})", outcome.num_runs(), outcome.converged);
+    for (i, run) in outcome.runs.iter().enumerate() {
+        println!("  run {i}: p99 = {:6.1}us", run.p99);
+    }
+    println!(
+        "\nfinal estimate: p50 {:.1}us, p99 {:.1} ± {:.1}us across restarts",
+        outcome.mean_p50, outcome.mean_p99, outcome.stddev_p99
+    );
+    Ok(())
+}

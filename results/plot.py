@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""Render the regenerated TSVs in this directory as PNG figures.
+
+Usage: python3 results/plot.py [results_dir]
+
+Requires matplotlib; every figure is optional — missing TSVs are
+skipped. Layout mirrors the paper's figures so side-by-side comparison
+is easy.
+"""
+
+import csv
+import os
+import sys
+from collections import defaultdict
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover
+    sys.exit("matplotlib is required: pip install matplotlib")
+
+
+def read_tsv(path):
+    rows = []
+    with open(path) as fh:
+        header = None
+        for line in fh:
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split("\t")
+            if header is None:
+                header = parts
+                continue
+            rows.append(dict(zip(header, parts)))
+    return rows
+
+
+def save(fig, outdir, name):
+    path = os.path.join(outdir, name)
+    fig.savefig(path, dpi=130, bbox_inches="tight")
+    plt.close(fig)
+    print(f"wrote {path}")
+
+
+def plot_cdf_figure(rows, title, outdir, name):
+    series = defaultdict(list)
+    for r in rows:
+        series[r["series"]].append((float(r["latency_us"]), float(r["cdf"])))
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for label, pts in series.items():
+        pts.sort()
+        style = "--" if label.startswith("tcpdump") else "-"
+        ax.plot([p[0] for p in pts], [p[1] for p in pts], style, label=label)
+    ax.set_xlabel("latency (us)")
+    ax.set_ylabel("CDF")
+    ax.set_title(title)
+    ax.legend(fontsize=7)
+    ax.grid(alpha=0.3)
+    save(fig, outdir, name)
+
+
+def plot_fig01(rows, outdir):
+    series = defaultdict(list)
+    for r in rows:
+        series[r["series"]].append((int(r["outstanding"]), float(r["cdf"])))
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for label, pts in series.items():
+        pts.sort()
+        ax.plot([p[0] for p in pts], [p[1] for p in pts], label=label)
+    ax.set_xlabel("outstanding requests")
+    ax.set_ylabel("CDF")
+    ax.set_xscale("log")
+    ax.set_title("Figure 1: outstanding requests, open vs closed loop")
+    ax.legend()
+    ax.grid(alpha=0.3)
+    save(fig, outdir, "fig01.png")
+
+
+def plot_fig04(rows, outdir):
+    series = defaultdict(list)
+    for r in rows:
+        series[r["run"]].append((int(r["samples"]), float(r["p99_us"])))
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    for label, pts in sorted(series.items()):
+        pts.sort()
+        ax.plot([p[0] for p in pts], [p[1] for p in pts], label=label)
+    ax.set_xlabel("samples")
+    ax.set_ylabel("p99 latency (us)")
+    ax.set_title("Figure 4: per-run p99 convergence (hysteresis)")
+    ax.legend()
+    ax.grid(alpha=0.3)
+    save(fig, outdir, "fig04.png")
+
+
+def plot_config_bars(rows, title, outdir, name):
+    # rows: load, percentile, config, label, latency_us
+    for load in sorted({r["load"] for r in rows}):
+        sub = [r for r in rows if r["load"] == load]
+        percentiles = sorted({r["percentile"] for r in sub})
+        fig, ax = plt.subplots(figsize=(11, 4.5))
+        width = 0.05
+        for ci in range(16):
+            values = []
+            for p in percentiles:
+                match = [
+                    float(r["latency_us"])
+                    for r in sub
+                    if r["percentile"] == p and int(r["config"]) == ci
+                ]
+                values.append(match[0] if match else 0.0)
+            xs = [i + ci * width for i in range(len(percentiles))]
+            ax.bar(xs, values, width=width, label=str(ci) if ci < 8 else None)
+        ax.set_xticks([i + 8 * width for i in range(len(percentiles))])
+        ax.set_xticklabels(percentiles)
+        ax.set_ylabel("latency (us)")
+        ax.set_title(f"{title} — {load} load (bars = configs 0..15)")
+        ax.grid(alpha=0.3, axis="y")
+        save(fig, outdir, f"{name}_{load}.png")
+
+
+def plot_impacts(rows, title, outdir, name):
+    fig, axes = plt.subplots(1, 2, figsize=(11, 4), sharey=True)
+    for ax, load in zip(axes, ["low", "high"]):
+        sub = [r for r in rows if r["load"] == load]
+        percentiles = sorted({r["percentile"] for r in sub})
+        factors = ["numa", "turbo", "dvfs", "nic"]
+        width = 0.18
+        for fi, factor in enumerate(factors):
+            values = [
+                float(r["impact_us"])
+                for p in percentiles
+                for r in sub
+                if r["percentile"] == p and r["factor"] == factor
+            ]
+            xs = [i + fi * width for i in range(len(percentiles))]
+            ax.bar(xs, values, width=width, label=factor)
+        ax.set_xticks([i + 1.5 * width for i in range(len(percentiles))])
+        ax.set_xticklabels(percentiles)
+        ax.axhline(0, color="k", linewidth=0.6)
+        ax.set_title(f"{load} load")
+        ax.grid(alpha=0.3, axis="y")
+    axes[0].set_ylabel("avg latency impact (us)")
+    axes[0].legend()
+    fig.suptitle(title)
+    save(fig, outdir, name)
+
+
+def plot_fig11(rows, outdir):
+    fig, ax = plt.subplots(figsize=(7, 4.5))
+    groups = defaultdict(list)
+    for r in rows:
+        groups[f'{r["workload"]}-{r["load"]}'].append(
+            (r["percentile"], float(r["pseudo_r2"]))
+        )
+    for label, pts in sorted(groups.items()):
+        ax.plot([p[0] for p in pts], [p[1] for p in pts], marker="o", label=label)
+    ax.axhline(0.9, color="gray", linestyle=":", label="paper floor (0.90)")
+    ax.set_ylabel("pseudo-R²")
+    ax.set_ylim(0, 1)
+    ax.set_title("Figure 11: goodness-of-fit")
+    ax.legend(fontsize=8)
+    ax.grid(alpha=0.3)
+    save(fig, outdir, "fig11.png")
+
+
+def plot_fig12(rows, outdir):
+    arms = defaultdict(list)
+    for r in rows:
+        arms[r["arm"]].append(float(r["p99_us"]))
+    fig, ax = plt.subplots(figsize=(6, 4.5))
+    ax.boxplot(
+        [arms.get("before", []), arms.get("after", [])],
+        tick_labels=["before (random configs)", "after (recommended)"],
+    )
+    ax.set_ylabel("p99 latency (us)")
+    ax.set_title("Figure 12: tuning outcome")
+    ax.grid(alpha=0.3, axis="y")
+    save(fig, outdir, "fig12.png")
+
+
+def main():
+    outdir = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(__file__) or "."
+    plots = {
+        "fig01.tsv": plot_fig01,
+        "fig04.tsv": plot_fig04,
+        "fig11.tsv": plot_fig11,
+        "fig12.tsv": plot_fig12,
+    }
+    for tsv, fn in plots.items():
+        path = os.path.join(outdir, tsv)
+        if os.path.exists(path):
+            fn(read_tsv(path), outdir)
+    for tsv, (title, name) in {
+        "fig05.tsv": ("Figure 5: testers vs tcpdump, 10% util", "fig05.png"),
+        "fig06.tsv": ("Figure 6: testers vs tcpdump, high util", "fig06.png"),
+    }.items():
+        path = os.path.join(outdir, tsv)
+        if os.path.exists(path):
+            plot_cdf_figure(read_tsv(path), title, outdir, name)
+    for tsv, (title, name) in {
+        "fig07.tsv": ("Figure 7: memcached per-config estimates", "fig07"),
+        "fig09.tsv": ("Figure 9: mcrouter per-config estimates", "fig09"),
+    }.items():
+        path = os.path.join(outdir, tsv)
+        if os.path.exists(path):
+            plot_config_bars(read_tsv(path), title, outdir, name)
+    for tsv, (title, name) in {
+        "fig08.tsv": ("Figure 8: memcached factor impacts", "fig08.png"),
+        "fig10.tsv": ("Figure 10: mcrouter factor impacts", "fig10.png"),
+    }.items():
+        path = os.path.join(outdir, tsv)
+        if os.path.exists(path):
+            plot_impacts(read_tsv(path), title, outdir, name)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+#!/bin/bash
+# Regenerates every table and figure at default scale.
+cd /root/repo
+for bin in tab01 tab02 tab03 fig01 fig02 fig03 fig04 fig05 fig06 tab04 fig07 fig08 fig09 fig10 fig11 fig12 ext01_interarrival ext02_anova ext03_aggregation ext04_histogram ext05_hysteresis ext06_omission ext07_freqtrace ext08_interactions; do
+  echo "=== $bin ($(date +%H:%M:%S)) ===" >> results/progress.log
+  ./target/release/$bin > results/$bin.tsv 2> results/$bin.err
+done
+echo "ALL DONE $(date +%H:%M:%S)" >> results/progress.log

@@ -1,0 +1,319 @@
+//! `treadmill-cli` — drive the reproduction from the command line.
+//!
+//! ```text
+//! treadmill-cli run <config.json> [--runs N] [--seed S]
+//!     Run a JSON-configured load test with the repeated-run procedure
+//!     and print per-run and aggregated summaries.
+//!
+//! treadmill-cli attribute <memcached|mcrouter> [--rps R] [--runs N] [--seed S]
+//!     Run the 2^4 factorial campaign, print the Table IV-style
+//!     coefficient table at p50/p95/p99 and the recommended config.
+//!
+//! treadmill-cli compare <config.json> <configA-index> <configB-index> [--runs N]
+//!     Run two hardware configurations under the same JSON load test
+//!     and compare their per-run p99s with Welch's t-test.
+//!
+//! treadmill-cli screen <memcached|mcrouter> [--rps R] [--runs N] [--seed S]
+//!     Randomised factor screening (§IV-B): which factors measurably
+//!     move p99 at this load?
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use treadmill::cluster::HardwareConfig;
+use treadmill::core::{run_until_converged, ExperimentOptions, LoadTestConfig};
+use treadmill::inference::{
+    attribute, collect, screen_factors, CollectionPlan, ScreeningOptions,
+    TABLE_IV_PERCENTILES,
+};
+use treadmill::sim::SimDuration;
+use treadmill::stats::compare::welch_t_test;
+use treadmill::workloads::{Mcrouter, Memcached, Workload};
+
+struct Flags {
+    positional: Vec<String>,
+    runs: usize,
+    rps: f64,
+    seed: u64,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        positional: Vec::new(),
+        runs: 6,
+        rps: 700_000.0,
+        seed: 2016,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--runs" => {
+                flags.runs = iter
+                    .next()
+                    .ok_or("--runs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?;
+            }
+            "--rps" => {
+                flags.rps = iter
+                    .next()
+                    .ok_or("--rps needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--rps: {e}"))?;
+            }
+            "--seed" => {
+                flags.seed = iter
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}"));
+            }
+            other => flags.positional.push(other.to_string()),
+        }
+    }
+    Ok(flags)
+}
+
+fn usage() -> &'static str {
+    "usage:\n  treadmill-cli run <config.json> [--runs N] [--seed S]\n  \
+     treadmill-cli attribute <memcached|mcrouter> [--rps R] [--runs N] [--seed S]\n  \
+     treadmill-cli compare <config.json> <cfgA 0-15> <cfgB 0-15> [--runs N]\n  \
+     treadmill-cli screen <memcached|mcrouter> [--rps R] [--runs N] [--seed S]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let command = args[0].clone();
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&flags),
+        "attribute" => cmd_attribute(&flags),
+        "compare" => cmd_compare(&flags),
+        "screen" => cmd_screen(&flags),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_config(path: &str) -> Result<LoadTestConfig, String> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    LoadTestConfig::from_json(&json).map_err(|e| e.to_string())
+}
+
+fn cmd_run(flags: &Flags) -> Result<(), String> {
+    let path = flags
+        .positional
+        .first()
+        .ok_or("run needs a config file path")?;
+    let mut config = load_config(path)?;
+    config.seed = flags.seed;
+    let test = config.build().map_err(|e| e.to_string())?;
+    println!(
+        "running up to {} restarts of {} at {} RPS ...",
+        flags.runs, config.workload.workload, config.target_rps
+    );
+    let outcome = run_until_converged(
+        &test,
+        ExperimentOptions {
+            min_runs: 2.max(flags.runs / 3),
+            max_runs: flags.runs,
+            relative_tolerance: 0.05,
+            confidence: 0.95,
+        },
+        0,
+    );
+    for (i, run) in outcome.runs.iter().enumerate() {
+        println!(
+            "  run {i}: p50 {:7.1}us  p95 {:7.1}us  p99 {:7.1}us  ({} samples)",
+            run.p50, run.p95, run.p99, run.count
+        );
+    }
+    println!(
+        "converged: {} after {} runs",
+        outcome.converged,
+        outcome.num_runs()
+    );
+    println!(
+        "estimate: p50 {:.1}us, p99 {:.1} ± {:.1}us\n",
+        outcome.mean_p50, outcome.mean_p99, outcome.stddev_p99
+    );
+    // Full report (incl. pitfall health checks) for the last run.
+    let last = test.run(outcome.num_runs() as u64 - 1);
+    print!("{}", treadmill::core::render_report(&last, config.target_rps));
+    Ok(())
+}
+
+fn workload_by_name(name: &str) -> Result<Arc<dyn Workload>, String> {
+    match name {
+        "memcached" => Ok(Arc::new(Memcached::default())),
+        "mcrouter" => Ok(Arc::new(Mcrouter::default())),
+        other => Err(format!("unknown workload {other:?}")),
+    }
+}
+
+fn cmd_attribute(flags: &Flags) -> Result<(), String> {
+    let name = flags
+        .positional
+        .first()
+        .ok_or("attribute needs a workload name")?;
+    let workload = workload_by_name(name)?;
+    let plan = CollectionPlan {
+        runs_per_config: flags.runs,
+        samples_per_run: 10_000,
+        clients: 8,
+        duration: SimDuration::from_millis(400),
+        warmup: SimDuration::from_millis(100),
+        seed: flags.seed,
+        ..CollectionPlan::new(workload, flags.rps)
+    };
+    println!(
+        "collecting {} experiments for {name} at {} RPS ...",
+        plan.total_experiments(),
+        flags.rps
+    );
+    let dataset = collect(&plan);
+    println!(
+        "{:<22} {:>18} {:>18} {:>18}",
+        "factor", "p50 est (p)", "p95 est (p)", "p99 est (p)"
+    );
+    let models: Vec<_> = TABLE_IV_PERCENTILES
+        .iter()
+        .map(|&tau| attribute(&dataset, tau, 200, flags.seed))
+        .collect();
+    for t in 0..models[0].coefficients.len() {
+        let mut line = format!("{:<22}", models[0].coefficients[t].term);
+        for model in &models {
+            let c = &model.coefficients[t];
+            let star = if c.p_value < 0.05 { "*" } else { " " };
+            line.push_str(&format!(" {:>+9.1} ({:.2}){star}", c.estimate, c.p_value));
+        }
+        println!("{line}");
+    }
+    let best = models.last().expect("models nonempty").best_config();
+    println!("\nrecommended configuration for p99: {best} (index {})", best.index());
+    Ok(())
+}
+
+fn cmd_screen(flags: &Flags) -> Result<(), String> {
+    let name = flags
+        .positional
+        .first()
+        .ok_or("screen needs a workload name")?;
+    let workload = workload_by_name(name)?;
+    let experiments = (flags.runs * 8).max(16);
+    println!(
+        "screening 4 factors with {experiments} randomised experiments at {} RPS ...",
+        flags.rps
+    );
+    let results = screen_factors(
+        &["numa", "turbo", "dvfs", "nic"],
+        ScreeningOptions {
+            experiments,
+            alpha: 0.05,
+            seed: flags.seed,
+        },
+        |levels, i| {
+            let index = levels
+                .iter()
+                .enumerate()
+                .fold(0usize, |acc, (b, &on)| acc | (usize::from(on) << b));
+            treadmill::core::LoadTest::new(Arc::clone(&workload), flags.rps)
+                .clients(4)
+                .hardware(HardwareConfig::from_index(index))
+                .duration(SimDuration::from_millis(200))
+                .warmup(SimDuration::from_millis(50))
+                .seed(flags.seed ^ (i as u64).wrapping_mul(0x9E37_79B9))
+                .run(0)
+                .aggregated
+                .p99
+        },
+    );
+    println!(
+        "{:<8} {:>12} {:>12} {:>10} {:>12}",
+        "factor", "p99@low", "p99@high", "p-value", "significant"
+    );
+    for r in &results {
+        println!(
+            "{:<8} {:>10.1}us {:>10.1}us {:>10.4} {:>12}",
+            r.factor,
+            r.mean_low,
+            r.mean_high,
+            r.p_value,
+            if r.significant { "YES" } else { "no" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_compare(flags: &Flags) -> Result<(), String> {
+    if flags.positional.len() < 3 {
+        return Err("compare needs <config.json> <cfgA> <cfgB>".to_string());
+    }
+    let mut config = load_config(&flags.positional[0])?;
+    config.seed = flags.seed;
+    let a_index: usize = flags.positional[1]
+        .parse()
+        .map_err(|e| format!("cfgA: {e}"))?;
+    let b_index: usize = flags.positional[2]
+        .parse()
+        .map_err(|e| format!("cfgB: {e}"))?;
+    if a_index > 15 || b_index > 15 {
+        return Err("configuration indices must be 0..=15".to_string());
+    }
+    let base = config.build().map_err(|e| e.to_string())?;
+    let run_arm = |idx: usize| -> Vec<f64> {
+        let test = base.clone().hardware(HardwareConfig::from_index(idx));
+        (0..flags.runs as u64)
+            .map(|i| test.run(i).aggregated.p99)
+            .collect()
+    };
+    println!("running {} restarts per configuration ...", flags.runs);
+    let a = run_arm(a_index);
+    let b = run_arm(b_index);
+    let cmp = welch_t_test(&a, &b);
+    println!(
+        "config {a_index} ({}): mean p99 {:.1}us",
+        HardwareConfig::from_index(a_index),
+        cmp.mean_a
+    );
+    println!(
+        "config {b_index} ({}): mean p99 {:.1}us",
+        HardwareConfig::from_index(b_index),
+        cmp.mean_b
+    );
+    println!(
+        "difference {:+.1}us ({:+.1}%), t = {:.2}, df = {:.1}, p = {:.4}",
+        cmp.difference,
+        cmp.relative_change() * 100.0,
+        cmp.t_statistic,
+        cmp.degrees_of_freedom,
+        cmp.p_value
+    );
+    if cmp.is_significant(0.05) {
+        println!("verdict: statistically significant at the 5% level");
+    } else {
+        println!("verdict: NOT significant — run more restarts before concluding anything");
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! # Treadmill — a Rust reproduction of the ISCA 2016 paper
+//!
+//! *"Treadmill: Attributing the Source of Tail Latency through Precise
+//! Load Testing and Statistical Inference"* (Zhang, Meisner, Mars,
+//! Tang).
+//!
+//! This facade crate re-exports the whole reproduction:
+//!
+//! * [`core`] — the Treadmill load tester: precisely-timed open-loop
+//!   control, adaptive-histogram aggregation, multi-instance procedure,
+//!   repeated-run hysteresis mitigation;
+//! * [`cluster`] — the simulated datacenter substrate (server with
+//!   NUMA/Turbo/DVFS/NIC-RSS models, network, client machines, tcpdump
+//!   ground truth) standing in for the paper's production testbed;
+//! * [`stats`] — histograms, quantiles, quantile regression, bootstrap
+//!   inference, pseudo-R²;
+//! * [`workloads`] — Memcached and mcrouter service models with JSON
+//!   configuration;
+//! * [`baselines`] — the flawed prior load testers (YCSB-, Faban-,
+//!   CloudSuite-, Mutilate-like) used in the comparison experiments;
+//! * [`inference`] — the factorial attribution pipeline (Table IV,
+//!   Figures 7–12);
+//! * [`sim`] — the discrete-event engine underneath it all.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use treadmill::core::LoadTest;
+//! use treadmill::workloads::Memcached;
+//!
+//! let report = LoadTest::new(Arc::new(Memcached::default()), 100_000.0)
+//!     .clients(4)
+//!     .seed(1)
+//!     .run(0);
+//! println!(
+//!     "p50 {:.0}us  p99 {:.0}us  (tcpdump p99 {:.0}us)",
+//!     report.aggregated.p50,
+//!     report.aggregated.p99,
+//!     report.ground_truth.quantile_us(0.99),
+//! );
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/` for the binaries that regenerate every table
+//! and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use treadmill_baselines as baselines;
+pub use treadmill_cluster as cluster;
+pub use treadmill_core as core;
+pub use treadmill_inference as inference;
+pub use treadmill_sim_core as sim;
+pub use treadmill_stats as stats;
+pub use treadmill_workloads as workloads;

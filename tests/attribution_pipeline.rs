@@ -1,0 +1,80 @@
+//! Integration of the attribution pipeline on the real simulator: the
+//! fitted model must recover the physics we built into the substrate.
+
+use std::sync::Arc;
+
+use treadmill::cluster::HardwareConfig;
+use treadmill::inference::{
+    attribute, average_factor_impacts, collect, model_pseudo_r_squared, CollectionPlan,
+};
+use treadmill::sim::SimDuration;
+use treadmill::workloads::Memcached;
+
+fn small_campaign(rps: f64, seed: u64) -> treadmill::inference::Dataset {
+    let plan = CollectionPlan {
+        runs_per_config: 3,
+        samples_per_run: 3_000,
+        clients: 4,
+        duration: SimDuration::from_millis(150),
+        warmup: SimDuration::from_millis(40),
+        seed,
+        threads: 8,
+        ..CollectionPlan::new(Arc::new(Memcached::default()), rps)
+    };
+    collect(&plan)
+}
+
+#[test]
+fn numa_interleave_hurts_the_tail_at_high_load() {
+    let dataset = small_campaign(750_000.0, 21);
+    let model = attribute(&dataset, 0.99, 100, 21);
+    let numa = model.term("numa").expect("numa term");
+    assert!(
+        numa.estimate > 5.0,
+        "interleave must raise p99 (Finding 6): {:+.1}us",
+        numa.estimate
+    );
+    // And the recommended config keeps NUMA local.
+    assert!(!model.best_config().numa.is_high());
+}
+
+#[test]
+fn dvfs_performance_helps_at_low_load() {
+    let dataset = small_campaign(100_000.0, 22);
+    let model = attribute(&dataset, 0.9, 100, 22);
+    let impacts = average_factor_impacts(&model);
+    let dvfs = impacts.iter().find(|i| i.factor == "dvfs").unwrap();
+    assert!(
+        dvfs.average_impact_us < -3.0,
+        "performance governor must cut low-load latency (Finding 3): {:+.1}us",
+        dvfs.average_impact_us
+    );
+}
+
+#[test]
+fn model_explains_most_quantile_variation() {
+    let dataset = small_campaign(750_000.0, 23);
+    let model = attribute(&dataset, 0.95, 50, 23);
+    let r2 = model_pseudo_r_squared(&dataset, &model);
+    assert!(r2 > 0.5, "pseudo-R2 = {r2}");
+}
+
+#[test]
+fn predictions_match_cell_observations() {
+    let dataset = small_campaign(750_000.0, 24);
+    let model = attribute(&dataset, 0.5, 20, 24);
+    // The saturated model interpolates the per-cell fitted quantiles;
+    // its per-config predictions must stay inside each cell's observed
+    // per-run range.
+    for (i, cell) in dataset.cells.iter().enumerate() {
+        let cfg = HardwareConfig::from_index(i);
+        let pred = model.predict(&cfg);
+        let runs = treadmill::stats::regression::per_run_quantiles(cell, 0.5);
+        let lo = runs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = runs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            pred >= lo - 1e-6 && pred <= hi + 1e-6,
+            "config {i}: prediction {pred} outside observed [{lo}, {hi}]"
+        );
+    }
+}

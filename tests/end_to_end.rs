@@ -1,0 +1,131 @@
+//! End-to-end integration: JSON configuration → multi-instance load
+//! test → statistically aggregated report, across every crate.
+
+use std::sync::Arc;
+
+use treadmill::core::{LoadTest, LoadTestConfig};
+use treadmill::sim::{SimDuration, SimTime};
+use treadmill::workloads::{Memcached, WorkloadSpec};
+
+fn quick_test(rps: f64, seed: u64) -> LoadTest {
+    LoadTest::new(Arc::new(Memcached::default()), rps)
+        .clients(4)
+        .duration(SimDuration::from_millis(120))
+        .warmup(SimDuration::from_millis(30))
+        .seed(seed)
+}
+
+#[test]
+fn json_config_drives_a_full_run() {
+    let config = LoadTestConfig::from_json(
+        r#"{
+            "workload": { "workload": "memcached", "config": { "get_fraction": 0.8 } },
+            "target_rps": 150000,
+            "clients": 4,
+            "duration_ms": 120,
+            "warmup_ms": 30,
+            "seed": 9
+        }"#,
+    )
+    .expect("valid config");
+    let report = config.build().expect("buildable").run(0);
+    assert_eq!(report.per_instance.len(), 4);
+    assert!(report.aggregated.count > 5_000);
+}
+
+#[test]
+fn report_invariants_hold() {
+    let report = quick_test(200_000.0, 1).run(0);
+    let agg = &report.aggregated;
+    // Percentiles are ordered.
+    assert!(agg.min <= agg.p50 && agg.p50 <= agg.p90);
+    assert!(agg.p90 <= agg.p95 && agg.p95 <= agg.p99);
+    assert!(agg.p99 <= agg.p999 && agg.p999 <= agg.max);
+    // User-space view sits above NIC ground truth at every percentile.
+    for p in [0.5, 0.9, 0.99] {
+        assert!(
+            agg.percentile(if p == 0.9 { 0.90 } else { p })
+                > report.ground_truth.quantile_us(p),
+            "user view must include client+kernel time at p{p}"
+        );
+    }
+    // Offered load was sustained.
+    let ratio = report.completion_ratio(200_000.0);
+    assert!(ratio > 0.95 && ratio < 1.05, "completion {ratio}");
+}
+
+#[test]
+fn ground_truth_gap_is_stable_across_load() {
+    let low = quick_test(100_000.0, 2).run(0);
+    let high = quick_test(700_000.0, 2).run(0);
+    let gap = |r: &treadmill::core::LoadTestReport| {
+        r.aggregated.p50 - r.ground_truth.quantile_us(0.5)
+    };
+    let low_gap = gap(&low);
+    let high_gap = gap(&high);
+    // The paper's observation: the kernel-path offset stays ~constant
+    // (30us) from 10% to 80% utilisation.
+    assert!((low_gap - high_gap).abs() < 8.0, "{low_gap} vs {high_gap}");
+}
+
+#[test]
+fn workload_spec_round_trips_through_json() {
+    let spec = WorkloadSpec::from_json(
+        r#"{ "workload": "mcrouter", "config": { "base_cpu_ns": 9000.0 } }"#,
+    )
+    .unwrap();
+    let workload = spec.build().unwrap();
+    assert_eq!(workload.name(), "mcrouter");
+    let test = LoadTest::new(workload, 100_000.0)
+        .clients(2)
+        .duration(SimDuration::from_millis(60))
+        .warmup(SimDuration::from_millis(20));
+    let report = test.run(0);
+    assert!(report.aggregated.p50 > 0.0);
+}
+
+#[test]
+fn deterministic_workload_gives_near_constant_latency_at_low_load() {
+    // Synthetic fixed-profile workload + deterministic pacing at 2%
+    // utilisation: no queueing, no service variance — latency collapses
+    // to the pipeline's fixed costs. This calibrates the ~70us floor
+    // every other experiment sits on.
+    use treadmill::cluster::{ClientSpec, ClusterBuilder};
+    use treadmill::core::{InterArrival, OpenLoopSource};
+    use treadmill::workloads::Synthetic;
+
+    let result = ClusterBuilder::new(Arc::new(Synthetic::fixed(10_000.0, 3_000.0)))
+        .seed(4)
+        .server_spec(treadmill::cluster::ServerSpec {
+            // Pin the governor out of the picture.
+            hysteresis: treadmill::cluster::HysteresisSpec::none(),
+            ..Default::default()
+        })
+        .hardware(treadmill::cluster::HardwareConfig::from_index(0b0100)) // performance governor
+        .client(
+            ClientSpec::default(),
+            Box::new(OpenLoopSource::new(
+                InterArrival::Deterministic { rate_rps: 20_000.0 },
+                16,
+            )),
+        )
+        .duration(SimDuration::from_millis(100))
+        .run();
+    let lat = result.user_latencies_us(SimTime::from_millis(20));
+    let p1 = treadmill::stats::quantile::quantile(&lat, 0.01);
+    let p99 = treadmill::stats::quantile::quantile(&lat, 0.99);
+    assert!(
+        p99 - p1 < 20.0,
+        "fixed service + paced arrivals must give a tight band: p1 {p1}, p99 {p99}"
+    );
+    assert!(p1 > 40.0 && p1 < 90.0, "pipeline floor moved: {p1}us");
+}
+
+#[test]
+fn same_seed_same_report_different_seed_different_report() {
+    let a = quick_test(400_000.0, 77).run(3);
+    let b = quick_test(400_000.0, 77).run(3);
+    let c = quick_test(400_000.0, 78).run(3);
+    assert_eq!(a.aggregated, b.aggregated);
+    assert_ne!(a.aggregated.p99, c.aggregated.p99);
+}

@@ -1,0 +1,140 @@
+//! Integration tests pinning the paper's numbered findings (§V) as
+//! executable assertions against the simulator.
+
+use std::sync::Arc;
+
+use treadmill::cluster::HardwareConfig;
+use treadmill::core::LoadTest;
+use treadmill::sim::SimDuration;
+use treadmill::workloads::{Mcrouter, Memcached, Workload};
+
+fn p99(workload: Arc<dyn Workload>, rps: f64, config: usize, seed: u64) -> f64 {
+    LoadTest::new(workload, rps)
+        .clients(4)
+        .hardware(HardwareConfig::from_index(config))
+        .duration(SimDuration::from_millis(200))
+        .warmup(SimDuration::from_millis(50))
+        .seed(seed)
+        .run(0)
+        .aggregated
+        .p99
+}
+
+fn mean_p99(workload: &Arc<dyn Workload>, rps: f64, config: usize) -> f64 {
+    (0..3)
+        .map(|s| p99(Arc::clone(workload), rps, config, 100 + s))
+        .sum::<f64>()
+        / 3.0
+}
+
+#[test]
+fn finding_3_ondemand_hurts_at_low_load() {
+    // dvfs is bit 2: config 0 = ondemand, config 4 = performance.
+    let workload: Arc<dyn Workload> = Arc::new(Memcached::default());
+    let ondemand = mean_p99(&workload, 100_000.0, 0);
+    let performance = mean_p99(&workload, 100_000.0, 4);
+    assert!(
+        ondemand > performance * 1.1,
+        "ondemand {ondemand} vs performance {performance} at low load"
+    );
+}
+
+#[test]
+fn finding_3_dvfs_immaterial_at_high_load() {
+    let workload: Arc<dyn Workload> = Arc::new(Memcached::default());
+    let ondemand = mean_p99(&workload, 750_000.0, 0);
+    let performance = mean_p99(&workload, 750_000.0, 4);
+    // Both governors run near max frequency when busy: within 10%.
+    assert!(
+        (ondemand / performance - 1.0).abs() < 0.10,
+        "ondemand {ondemand} vs performance {performance} at high load"
+    );
+}
+
+#[test]
+fn finding_6_interleave_penalty_grows_with_load() {
+    let workload: Arc<dyn Workload> = Arc::new(Memcached::default());
+    // numa is bit 0.
+    let low_penalty =
+        mean_p99(&workload, 100_000.0, 1) - mean_p99(&workload, 100_000.0, 0);
+    let high_penalty =
+        mean_p99(&workload, 750_000.0, 1) - mean_p99(&workload, 750_000.0, 0);
+    assert!(
+        high_penalty > low_penalty + 5.0,
+        "queueing must magnify the remote-access cost: low {low_penalty:.1}us, \
+         high {high_penalty:.1}us"
+    );
+    assert!(high_penalty > 10.0);
+}
+
+#[test]
+fn finding_8_mcrouter_gains_more_from_turbo_than_numa() {
+    // mcrouter is CPU-dominated: turbo (bit 1) must matter more than
+    // numa (bit 0), the opposite of memcached's high-load profile.
+    let mcrouter: Arc<dyn Workload> = Arc::new(Mcrouter::default());
+    let base = mean_p99(&mcrouter, 700_000.0, 0);
+    let with_turbo = mean_p99(&mcrouter, 700_000.0, 2);
+    let with_interleave = mean_p99(&mcrouter, 700_000.0, 1);
+    let turbo_gain = base - with_turbo;
+    let numa_cost = with_interleave - base;
+    assert!(turbo_gain > 3.0, "turbo gain {turbo_gain:.1}us");
+    assert!(
+        turbo_gain > numa_cost,
+        "turbo ({turbo_gain:.1}us) must outweigh numa ({numa_cost:.1}us) for mcrouter"
+    );
+}
+
+#[test]
+fn thermal_headroom_shrinks_turbo_benefit_at_high_load() {
+    // Finding 8's mechanism: "the available thermal headroom is smaller
+    // compared to low load". Compare turbo's relative p99 improvement.
+    let workload: Arc<dyn Workload> = Arc::new(Mcrouter::default());
+    let low_gain = 1.0 - mean_p99(&workload, 100_000.0, 2) / mean_p99(&workload, 100_000.0, 0);
+    let high_gain =
+        1.0 - mean_p99(&workload, 800_000.0, 2) / mean_p99(&workload, 800_000.0, 0);
+    // Turbo helps in both regimes but the package runs hotter at high
+    // load, so the relative gain must not grow.
+    assert!(low_gain > 0.0, "turbo must help at low load: {low_gain:.3}");
+    assert!(high_gain > -0.05, "turbo must not hurt at high load: {high_gain:.3}");
+    assert!(
+        high_gain < low_gain + 0.05,
+        "high-load gain {high_gain:.3} should not exceed low-load gain {low_gain:.3}"
+    );
+}
+
+#[test]
+fn finding_2_quantile_estimator_variance_grows_with_quantile() {
+    // Finding 2: "the variance of a quantile is inversely proportional
+    // to the density" — with the same number of samples, the p99
+    // estimate is intrinsically noisier than the median. Split one
+    // run's samples into batches and compare estimator spread.
+    let workload: Arc<dyn Workload> = Arc::new(Memcached::default());
+    let report = LoadTest::new(workload, 700_000.0)
+        .clients(4)
+        .duration(SimDuration::from_millis(250))
+        .warmup(SimDuration::from_millis(50))
+        .seed(200)
+        .run(0);
+    let samples = report.pooled_latencies();
+    let batches = 12;
+    let batch_len = samples.len() / batches;
+    assert!(batch_len > 1_000, "need sizeable batches, got {batch_len}");
+    let cv_of = |p: f64| -> f64 {
+        let estimates: Vec<f64> = (0..batches)
+            .map(|b| {
+                treadmill::stats::quantile::quantile(
+                    &samples[b * batch_len..(b + 1) * batch_len],
+                    p,
+                )
+            })
+            .collect();
+        let stats: treadmill::stats::StreamingStats = estimates.iter().copied().collect();
+        stats.sample_stddev() / stats.mean()
+    };
+    let p50_cv = cv_of(0.50);
+    let p99_cv = cv_of(0.99);
+    assert!(
+        p99_cv > p50_cv * 1.5,
+        "p99 estimator must be noisier: p50 cv {p50_cv:.4}, p99 cv {p99_cv:.4}"
+    );
+}

@@ -1,0 +1,133 @@
+//! Cross-solver oracle properties: the three quantile-regression
+//! solvers (exact LP, smoothed IRLS, saturated-design) must agree with
+//! each other within their documented tolerances on randomly generated
+//! problems.
+
+use proptest::prelude::*;
+use treadmill::stats::linalg::Matrix;
+use treadmill::stats::regression::{
+    experiment_quantile_fit, quantile_regression_exact, quantile_regression_irls,
+    saturated_quantile_fit, total_pinball_loss, Cell, FactorialDesign, IrlsOptions,
+};
+
+fn design_count(k: usize, order: usize) -> usize {
+    // 1 + sum_{i=1..order} C(k, i)
+    fn choose(n: usize, r: usize) -> usize {
+        if r > n {
+            return 0;
+        }
+        (0..r).fold(1usize, |acc, i| acc * (n - i) / (i + 1))
+    }
+    1 + (1..=order.min(k)).map(|i| choose(k, i)).sum::<usize>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn design_term_counts_are_binomial_sums(k in 1usize..6, order in 1usize..6) {
+        let names: Vec<String> = (0..k).map(|i| format!("f{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let design = FactorialDesign::with_interactions(&refs, order);
+        prop_assert_eq!(design.num_terms(), design_count(k, order));
+        prop_assert_eq!(design.term_labels().len(), design.num_terms());
+    }
+
+    #[test]
+    fn lp_never_loses_to_irls(
+        seed in 0u64..500,
+        n in 30usize..80,
+        tau in 0.2f64..0.9,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut matrix = Matrix::zeros(n, 2);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let x: f64 = rng.gen_range(0.0..10.0);
+            matrix[(i, 0)] = 1.0;
+            matrix[(i, 1)] = x;
+            y.push(1.0 + 0.5 * x + rng.gen_range(0.0..5.0));
+        }
+        let lp = quantile_regression_exact(&matrix, &y, tau).unwrap();
+        let irls =
+            quantile_regression_irls(&matrix, &y, tau, &IrlsOptions::default()).unwrap();
+        let lp_loss = total_pinball_loss(tau, &y, &matrix.mul_vec(&lp));
+        let irls_loss = total_pinball_loss(tau, &y, &matrix.mul_vec(&irls));
+        // The LP is the exact optimum; IRLS must be close but never
+        // better (up to numerical slack).
+        prop_assert!(lp_loss <= irls_loss + 1e-6, "lp {lp_loss} vs irls {irls_loss}");
+        prop_assert!(irls_loss <= lp_loss * 1.10 + 1e-6, "irls strayed: {irls_loss} vs {lp_loss}");
+    }
+
+    #[test]
+    fn saturated_fits_interpolate_their_cell_statistic(
+        seed in 0u64..200,
+        tau in 0.1f64..0.9,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let design = FactorialDesign::full(&["a", "b"]);
+        let cells: Vec<Cell> = design
+            .all_configurations()
+            .into_iter()
+            .map(|levels| {
+                let runs: Vec<Vec<f64>> = (0..3)
+                    .map(|_| (0..40).map(|_| rng.gen_range(0.0..100.0)).collect())
+                    .collect();
+                Cell::new(levels, runs)
+            })
+            .collect();
+        // Pooled variant interpolates pooled cell quantiles.
+        let pooled = saturated_quantile_fit(&design, &cells, tau).unwrap();
+        for cell in &cells {
+            let pred = design.predict(&pooled, &cell.levels);
+            let target = cell.pooled_quantile(tau);
+            prop_assert!((pred - target).abs() < 1e-6);
+        }
+        // Experiment variant interpolates the quantile of per-run
+        // quantiles.
+        let experiment = experiment_quantile_fit(&design, &cells, tau).unwrap();
+        for cell in &cells {
+            let pred = design.predict(&experiment, &cell.levels);
+            let mut qs = treadmill::stats::regression::per_run_quantiles(cell, tau);
+            qs.sort_by(f64::total_cmp);
+            let target = treadmill::stats::quantile::quantile_of_sorted(&qs, tau);
+            prop_assert!((pred - target).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn coefficients_shift_equivariantly(
+        seed in 0u64..200,
+        shift in -50.0f64..50.0,
+    ) {
+        // Adding a constant to every observation must move only the
+        // intercept.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let design = FactorialDesign::full(&["a", "b"]);
+        let make_cells = |offset: f64, rng: &mut rand::rngs::SmallRng| -> Vec<Cell> {
+            design
+                .all_configurations()
+                .into_iter()
+                .enumerate()
+                .map(|(i, levels)| {
+                    let base = 50.0 + 7.0 * i as f64;
+                    let runs = vec![(0..30)
+                        .map(|k| base + offset + f64::from(k % 5))
+                        .collect::<Vec<f64>>()];
+                    let _ = rng.gen::<u8>();
+                    Cell::new(levels, runs)
+                })
+                .collect()
+        };
+        let a = saturated_quantile_fit(&design, &make_cells(0.0, &mut rng), 0.5).unwrap();
+        let b =
+            saturated_quantile_fit(&design, &make_cells(shift, &mut rng), 0.5).unwrap();
+        prop_assert!((b[0] - a[0] - shift).abs() < 1e-6, "intercept must absorb the shift");
+        for t in 1..a.len() {
+            prop_assert!((b[t] - a[t]).abs() < 1e-6, "term {t} moved");
+        }
+    }
+}
