@@ -12,6 +12,8 @@ use treadmill_core::{InterArrival, OpenLoopSource};
 use treadmill_sim_core::SimTime;
 use treadmill_stats::quantile::quantiles;
 
+type MakeProcess = fn(f64) -> InterArrival;
+
 fn main() {
     let args = BenchArgs::parse();
     banner(
@@ -20,7 +22,7 @@ fn main() {
         &args,
     );
     row(["process", "p50_us", "p95_us", "p99_us", "p999_us"]);
-    let processes: [(&str, fn(f64) -> InterArrival); 3] = [
+    let processes: [(&str, MakeProcess); 3] = [
         ("exponential", |r| InterArrival::Exponential { rate_rps: r }),
         ("uniform", |r| InterArrival::Uniform { rate_rps: r }),
         ("deterministic", |r| InterArrival::Deterministic { rate_rps: r }),

@@ -46,8 +46,8 @@ fn main() {
             );
         }
         let result = builder.run();
-        let per_client =
-            latencies_per_client(&result.client_records, args.warmup().as_nanos() / 1_000);
+        let warmup_at = treadmill_sim_core::SimTime::ZERO + args.warmup();
+        let per_client = latencies_per_client(&result.client_records, warmup_at);
         let summaries: Vec<LatencySummary> = per_client
             .iter()
             .map(|v| LatencySummary::from_samples(v))

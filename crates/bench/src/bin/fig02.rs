@@ -34,8 +34,8 @@ fn main() {
         );
     }
     let result = builder.run();
-    let per_client =
-        latencies_per_client(&result.client_records, args.warmup().as_nanos() / 1_000);
+    let warmup_at = treadmill_sim_core::SimTime::ZERO + args.warmup();
+    let per_client = latencies_per_client(&result.client_records, warmup_at);
     let quantiles = [0.50, 0.90, 0.95, 0.99, 0.999];
     let rows = tail_composition(&per_client, &quantiles);
     row(["quantile", "latency_us", "client1", "client2", "client3", "client4"]);

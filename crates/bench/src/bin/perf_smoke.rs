@@ -1,0 +1,183 @@
+//! Performance smoke test: times the three hot-path layers and writes
+//! `BENCH_treadmill.json` so the perf trajectory is tracked per commit.
+//!
+//! Stages (one per optimized layer):
+//!
+//! 1. `engine_events` — raw discrete-event engine throughput
+//!    (events/sec) on self-rescheduling chains, exercising the 4-ary
+//!    indexed queue's schedule/pop path with dense time collisions;
+//! 2. `single_run` — one `LoadTest::run`, exercising the whole
+//!    simulate-then-measure record pipeline;
+//! 3. `collect_tiny` — a reduced factorial `collect()`, exercising the
+//!    parallel experiment layer and the O(k) subsampler.
+//!
+//! Usage: `perf_smoke [--check] [--out PATH] [--seed N]`
+//!
+//! `--check` runs each stage at smoke scale and fails (non-zero exit)
+//! if the JSON report cannot be produced or re-parsed — timings are
+//! informational, so CI stays load-insensitive.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde_json::{Map, Value};
+use treadmill_core::LoadTest;
+use treadmill_inference::CollectionPlan;
+use treadmill_sim_core::{Engine, EventQueue, SimDuration, SimTime, World};
+use treadmill_workloads::Memcached;
+
+/// A world of independent event chains: each event reschedules itself a
+/// pseudo-random (but deterministic) delay ahead until its hop budget
+/// runs out. Many chains keep the queue deep; small delays collide
+/// often, stressing the FIFO tie-break path.
+struct Chains {
+    state: u64,
+}
+
+#[derive(Clone, Copy)]
+struct Hop {
+    remaining: u32,
+}
+
+impl World for Chains {
+    type Event = Hop;
+
+    fn handle(&mut self, now: SimTime, event: Hop, queue: &mut EventQueue<Hop>) {
+        if event.remaining == 0 {
+            return;
+        }
+        // xorshift64 keeps delays varied without an RNG dependency.
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        let delay = SimDuration::from_nanos(self.state % 512);
+        queue.schedule(
+            now + delay,
+            Hop {
+                remaining: event.remaining - 1,
+            },
+        );
+    }
+}
+
+fn bench_engine(chains: u64, hops: u32) -> (u64, f64) {
+    let mut engine = Engine::with_queue_capacity(
+        Chains {
+            state: 0x9E37_79B9_7F4A_7C15,
+        },
+        chains as usize + 16,
+    );
+    for i in 0..chains {
+        engine.schedule(SimTime::from_nanos(i % 64), Hop { remaining: hops });
+    }
+    let start = Instant::now();
+    engine.run_to_completion();
+    let wall = start.elapsed().as_secs_f64();
+    (engine.events_executed(), wall)
+}
+
+fn bench_single_run(seed: u64, duration_ms: u64) -> (usize, f64) {
+    let test = LoadTest::new(Arc::new(Memcached::default()), 250_000.0)
+        .clients(4)
+        .duration(SimDuration::from_millis(duration_ms))
+        .warmup(SimDuration::from_millis(duration_ms / 4))
+        .seed(seed);
+    let start = Instant::now();
+    let report = test.run(0);
+    let wall = start.elapsed().as_secs_f64();
+    assert!(report.aggregated.p99 > 0.0, "run produced no latencies");
+    (report.run.total_responses(), wall)
+}
+
+fn bench_collect(seed: u64, runs_per_config: usize, duration_ms: u64) -> (usize, f64) {
+    let mut plan = CollectionPlan::new(Arc::new(Memcached::default()), 300_000.0);
+    plan.runs_per_config = runs_per_config;
+    plan.samples_per_run = 2_000;
+    plan.clients = 2;
+    plan.duration = SimDuration::from_millis(duration_ms);
+    plan.warmup = SimDuration::from_millis(duration_ms / 4);
+    plan.seed = seed;
+    let start = Instant::now();
+    let dataset = treadmill_inference::collect(&plan);
+    let wall = start.elapsed().as_secs_f64();
+    assert_eq!(dataset.cells.len(), 16, "factorial collect lost cells");
+    (dataset.total_samples(), wall)
+}
+
+fn stage(name: &str, unit: &str, items: u64, wall_secs: f64) -> Value {
+    let mut obj = Map::new();
+    obj.insert("name".to_string(), Value::String(name.to_string()));
+    obj.insert("unit".to_string(), Value::String(unit.to_string()));
+    obj.insert("items".to_string(), Value::UInt(items));
+    obj.insert("wall_ms".to_string(), Value::Float(wall_secs * 1e3));
+    obj.insert(
+        "items_per_sec".to_string(),
+        Value::Float(items as f64 / wall_secs),
+    );
+    println!(
+        "{name}: {items} {unit} in {:.1} ms ({:.0} {unit}/s)",
+        wall_secs * 1e3,
+        items as f64 / wall_secs
+    );
+    Value::Object(obj)
+}
+
+fn main() {
+    let mut check = false;
+    let mut out = "BENCH_treadmill.json".to_string();
+    let mut seed = 2016u64;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--out" => out = iter.next().expect("--out needs a path"),
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be a u64");
+            }
+            other => panic!("unknown argument {other}; expected --check/--out PATH/--seed N"),
+        }
+    }
+
+    // Check mode shrinks every stage so CI finishes in seconds; the
+    // full mode is sized to make run-to-run noise small relative to
+    // real regressions.
+    let (chains, hops) = if check { (256, 2_000) } else { (1_024, 8_000) };
+    let (run_ms, collect_runs, collect_ms) = if check { (60, 1, 40) } else { (400, 3, 80) };
+
+    let (events, engine_wall) = bench_engine(chains, hops);
+    let engine_stage = stage("engine_events", "events", events, engine_wall);
+
+    let (responses, run_wall) = bench_single_run(seed, run_ms);
+    let run_stage = stage("single_run", "responses", responses as u64, run_wall);
+
+    let (samples, collect_wall) = bench_collect(seed, collect_runs, collect_ms);
+    let collect_stage = stage("collect_tiny", "samples", samples as u64, collect_wall);
+
+    let mut root = Map::new();
+    root.insert("schema".to_string(), Value::UInt(1));
+    root.insert(
+        "mode".to_string(),
+        Value::String(if check { "check" } else { "full" }.to_string()),
+    );
+    root.insert("seed".to_string(), Value::UInt(seed));
+    root.insert(
+        "benchmarks".to_string(),
+        Value::Array(vec![engine_stage, run_stage, collect_stage]),
+    );
+    let json =
+        serde_json::to_string_pretty(&Value::Object(root)).expect("serialize benchmark report");
+    std::fs::write(&out, &json).expect("write benchmark report");
+
+    // The report must round-trip: a malformed file would silently break
+    // downstream trend tracking, so treat it as a hard failure.
+    let parsed: Value = serde_json::from_str(&json).expect("report must re-parse");
+    let benchmarks = parsed["benchmarks"]
+        .as_array()
+        .expect("report has a benchmarks array");
+    assert_eq!(benchmarks.len(), 3, "expected one entry per stage");
+    println!("wrote {out}");
+}

@@ -1,7 +1,9 @@
 //! Table I: summary of load-tester features.
 
-use treadmill_baselines::feature_table;
+use treadmill_baselines::{feature_table, FeatureSupport};
 use treadmill_bench::{banner, row, BenchArgs};
+
+type FeatureCheck = fn(&FeatureSupport) -> bool;
 
 fn main() {
     let args = BenchArgs::parse();
@@ -11,7 +13,7 @@ fn main() {
     row(["Requirement"]
         .into_iter()
         .chain(table.iter().map(|r| r.name)));
-    let rows: [(&str, fn(&treadmill_baselines::FeatureSupport) -> bool); 5] = [
+    let rows: [(&str, FeatureCheck); 5] = [
         ("Query Interarrival Generation", |s| s.query_interarrival),
         ("Statistical Aggregation", |s| s.statistical_aggregation),
         ("Client-side Queueing Bias", |s| s.client_side_queueing),

@@ -205,7 +205,7 @@ mod tests {
 
     #[test]
     fn cell_formats() {
-        assert_eq!(cell(3.14159, 2), "3.14");
+        assert_eq!(cell(1.23456, 2), "1.23");
         assert_eq!(cell(-1.0, 0), "-1");
     }
 

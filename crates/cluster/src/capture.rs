@@ -30,9 +30,15 @@ impl CapturedPair {
 }
 
 /// The tcpdump view over one or more clients' records.
+///
+/// Latencies are extracted and sorted once at construction, so every
+/// quantile or CDF query afterwards is allocation-free — reports ask
+/// for several quantiles per capture, and re-materialising (and
+/// re-sorting) the latency vector per query dominated report time.
 #[derive(Debug, Clone, Default)]
 pub struct PacketCapture {
-    pairs: Vec<CapturedPair>,
+    /// NIC-to-NIC latencies (µs), sorted ascending.
+    sorted_latencies_us: Vec<f64>,
 }
 
 impl PacketCapture {
@@ -47,30 +53,34 @@ impl PacketCapture {
         records: impl IntoIterator<Item = &'a ResponseRecord>,
         warmup: SimTime,
     ) -> Self {
-        let pairs = records
+        let mut sorted_latencies_us: Vec<f64> = records
             .into_iter()
             .filter(|r| r.t_generated >= warmup)
-            .map(|r| CapturedPair {
-                tx: r.t_nic_out,
-                rx: r.t_nic_in,
+            .map(|r| {
+                CapturedPair {
+                    tx: r.t_nic_out,
+                    rx: r.t_nic_in,
+                }
+                .latency_us()
             })
             .collect();
-        PacketCapture { pairs }
+        sorted_latencies_us.sort_by(f64::total_cmp);
+        PacketCapture { sorted_latencies_us }
     }
 
     /// Number of matched pairs.
     pub fn len(&self) -> usize {
-        self.pairs.len()
+        self.sorted_latencies_us.len()
     }
 
     /// True if nothing was captured.
     pub fn is_empty(&self) -> bool {
-        self.pairs.is_empty()
+        self.sorted_latencies_us.is_empty()
     }
 
-    /// Ground-truth latencies in microseconds.
-    pub fn latencies_us(&self) -> Vec<f64> {
-        self.pairs.iter().map(CapturedPair::latency_us).collect()
+    /// Ground-truth latencies in microseconds, sorted ascending.
+    pub fn latencies_us(&self) -> &[f64] {
+        &self.sorted_latencies_us
     }
 
     /// The ground-truth `p`-quantile in microseconds.
@@ -79,18 +89,17 @@ impl PacketCapture {
     ///
     /// Panics if the capture is empty.
     pub fn quantile_us(&self, p: f64) -> f64 {
-        treadmill_stats::quantile::quantile(&self.latencies_us(), p)
+        treadmill_stats::quantile::quantile_of_sorted(&self.sorted_latencies_us, p)
     }
 
     /// `(latency_us, cumulative_fraction)` points of the empirical CDF,
     /// thinned to at most `max_points` — the tcpdump curves in Figures
     /// 5–6.
     pub fn cdf_points(&self, max_points: usize) -> Vec<(f64, f64)> {
-        let mut lat = self.latencies_us();
+        let lat = &self.sorted_latencies_us;
         if lat.is_empty() {
             return Vec::new();
         }
-        lat.sort_by(f64::total_cmp);
         let n = lat.len();
         let stride = (n / max_points.max(1)).max(1);
         let mut points: Vec<(f64, f64)> = lat

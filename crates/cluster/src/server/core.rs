@@ -8,12 +8,15 @@ use treadmill_sim_core::{SimDuration, SimTime, UtilizationTracker};
 use crate::request::Request;
 
 /// A unit of work on a core's run queue.
+///
+/// Requests are boxed: a job travels through run queues and the event
+/// heap, and a thin pointer keeps those moves (and heap sifts) cheap.
 #[derive(Debug)]
 pub enum CoreJob {
     /// Kernel interrupt handling for an inbound request packet.
-    Irq(Request),
+    Irq(Box<Request>),
     /// Worker-thread servicing of a request.
-    Work(Request),
+    Work(Box<Request>),
     /// A frequency-transition stall: the core is unavailable while the
     /// voltage/frequency ramp completes.
     Stall(SimDuration),
@@ -149,7 +152,7 @@ mod tests {
     fn dispatch_cycle() {
         let mut core = Core::new(0, 0, 2.2);
         assert!(core.try_dispatch().is_none(), "idle core, empty queue");
-        core.enqueue(CoreJob::Work(request()));
+        core.enqueue(CoreJob::Work(Box::new(request())));
         let job = core.try_dispatch().unwrap();
         assert!(matches!(job, CoreJob::Work(_)));
         assert!(core.is_busy());
@@ -163,7 +166,7 @@ mod tests {
     #[test]
     fn stall_preempts_queue() {
         let mut core = Core::new(0, 0, 2.2);
-        core.enqueue(CoreJob::Work(request()));
+        core.enqueue(CoreJob::Work(Box::new(request())));
         core.enqueue_front(CoreJob::Stall(SimDuration::from_micros(40)));
         assert!(matches!(core.try_dispatch().unwrap(), CoreJob::Stall(_)));
         assert_eq!(core.queue_len(), 1);

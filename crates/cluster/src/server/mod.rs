@@ -224,25 +224,30 @@ impl Server {
         }
         // First balance within the socket (cheap migration, preserves
         // NUMA locality); if the whole socket is deep, migrate anywhere
-        // — exactly the escalation CFS performs under pressure.
+        // — exactly the escalation CFS performs under pressure. One
+        // manual pass finds both minima (this runs for every worker
+        // dispatch once the server is loaded); strict `<` keeps the
+        // first-minimum tie-break the iterator version had.
         let socket = self.cores[preferred].socket;
-        let same_socket = self
-            .cores
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.socket == socket)
-            .min_by_key(|(_, c)| depth(c))
-            .map(|(i, _)| i)
-            .unwrap_or(preferred);
-        if depth(&self.cores[same_socket]) < threshold {
+        let mut same_socket = preferred;
+        let mut same_socket_depth = usize::MAX;
+        let mut global = preferred;
+        let mut global_depth = usize::MAX;
+        for (i, c) in self.cores.iter().enumerate() {
+            let d = depth(c);
+            if d < global_depth {
+                global = i;
+                global_depth = d;
+            }
+            if c.socket == socket && d < same_socket_depth {
+                same_socket = i;
+                same_socket_depth = d;
+            }
+        }
+        if same_socket_depth < threshold {
             return same_socket;
         }
-        self.cores
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, c)| depth(c))
-            .map(|(i, _)| i)
-            .unwrap_or(same_socket)
+        global
     }
 
     /// Mean utilisation across cores over `[0, now]`.

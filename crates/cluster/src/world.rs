@@ -46,6 +46,12 @@ pub struct CoreStats {
 use crate::source::{SendOrder, TrafficSource};
 
 /// The event alphabet of the cluster simulation.
+///
+/// Variants that track a request in flight carry it boxed: every
+/// request transits the event heap roughly eight times, and sift swaps
+/// move whole events, so a thin pointer beats an inline ~130-byte
+/// payload by a wide margin. The request is allocated once at
+/// [`Event::SendFire`] and freed when [`Event::Delivered`] lands.
 #[derive(Debug)]
 pub enum Event {
     /// The load tester on `client` initiates a send on `conn`.
@@ -56,9 +62,9 @@ pub enum Event {
         conn: u32,
     },
     /// The request has cleared client CPU + kernel TX; enter the uplink.
-    ClientTxNic(Request),
+    ClientTxNic(Box<Request>),
     /// The request packet reached the server NIC.
-    ServerNicArrive(Request),
+    ServerNicArrive(Box<Request>),
     /// A job lands on a core's run queue.
     CoreEnqueue {
         /// Target core.
@@ -76,12 +82,12 @@ pub enum Event {
         job: CoreJob,
     },
     /// The response packet reached the client NIC.
-    ClientNicArrive(Request),
+    ClientNicArrive(Box<Request>),
     /// The response cleared kernel RX; enter the client CPU for the
     /// user-space callback.
-    ClientRxUser(Request),
+    ClientRxUser(Box<Request>),
     /// The load tester observed the response.
-    Delivered(Request),
+    Delivered(Box<Request>),
     /// DVFS governor sampling tick.
     GovernorTick,
     /// Package thermal-model tick.
@@ -181,7 +187,7 @@ impl World for ClusterWorld {
                 let profile = self.workload.sample_request(&mut self.clients[ci].rng);
                 let id = RequestId(self.next_id);
                 self.next_id += 1;
-                let req = Request::new(id, client, conn, profile, now);
+                let req = Box::new(Request::new(id, client, conn, profile, now));
                 self.outstanding += 1;
                 if self.sample_outstanding {
                     self.outstanding_samples.push((now, self.outstanding));
@@ -451,7 +457,12 @@ impl ClusterBuilder {
             outstanding_samples: Vec::new(),
             sample_outstanding: self.sample_outstanding,
         };
-        let mut engine = Engine::new(world);
+        // Steady state keeps roughly one in-flight event per open
+        // connection plus per-core completions and the periodic ticks;
+        // 4x covers bursts so the hot schedule path never reallocates.
+        let total_connections: usize = conn_counts.iter().map(|&c| c as usize).sum();
+        let queue_capacity = total_connections * 4 + 64;
+        let mut engine = Engine::with_queue_capacity(world, queue_capacity);
         let starts = engine.world_mut().collect_start_orders(SimTime::ZERO);
         for (client, order) in starts {
             if order.at <= stop_sending_at {
@@ -491,23 +502,37 @@ impl ClusterBuilder {
                 transitions: c.transitions(),
             })
             .collect();
+        let server_utilization = world.server.mean_utilization(sending_stopped_at);
+        let frequency_transitions = world.server.total_transitions();
+        let final_heat = world.server.thermal().heat();
+        let run_remote_fraction = world.run_state.remote_fraction();
+        let client_cpu_utilization = world
+            .clients
+            .iter()
+            .map(|c| c.cpu_utilization(sending_stopped_at))
+            .collect();
+        let frequency_trace = world
+            .server
+            .frequency_trace()
+            .map(<[crate::server::FrequencyEvent]>::to_vec)
+            .unwrap_or_default();
+        let client_records: Vec<Vec<ResponseRecord>> =
+            world.clients.into_iter().map(|c| c.records).collect();
+        let delivered_in_window = client_records
+            .iter()
+            .flatten()
+            .filter(|r| r.t_delivered <= sending_stopped_at)
+            .count();
         RunResult {
             per_core,
-            server_utilization: world.server.mean_utilization(sending_stopped_at),
-            frequency_transitions: world.server.total_transitions(),
-            final_heat: world.server.thermal().heat(),
-            run_remote_fraction: world.run_state.remote_fraction(),
-            client_cpu_utilization: world
-                .clients
-                .iter()
-                .map(|c| c.cpu_utilization(sending_stopped_at))
-                .collect(),
-            frequency_trace: world
-                .server
-                .frequency_trace()
-                .map(<[crate::server::FrequencyEvent]>::to_vec)
-                .unwrap_or_default(),
-            client_records: world.clients.into_iter().map(|c| c.records).collect(),
+            server_utilization,
+            frequency_transitions,
+            final_heat,
+            run_remote_fraction,
+            client_cpu_utilization,
+            frequency_trace,
+            client_records,
+            delivered_in_window,
             outstanding: world.outstanding_samples,
             sending_stopped_at,
             completed_at,
@@ -521,6 +546,9 @@ impl ClusterBuilder {
 pub struct RunResult {
     /// Completed-request records, per client, in delivery order.
     pub client_records: Vec<Vec<ResponseRecord>>,
+    /// Responses delivered no later than `sending_stopped_at` —
+    /// precomputed so completion-ratio checks don't re-walk every record.
+    pub delivered_in_window: usize,
     /// `(time, in-flight count)` samples taken at each send, if enabled.
     pub outstanding: Vec<(SimTime, u32)>,
     /// When clients stopped sending.

@@ -113,12 +113,13 @@ pub fn tail_composition(
 }
 
 /// Extracts user-space latencies (µs) per client from raw records,
-/// dropping those generated before `warmup_us` microseconds.
+/// dropping those generated before the `warmup` instant. The cutoff is
+/// exact simulation time — the same boundary every other measurement
+/// view uses — so per-client and pooled sample counts always agree.
 pub fn latencies_per_client(
     client_records: &[Vec<ResponseRecord>],
-    warmup_us: u64,
+    warmup: treadmill_sim_core::SimTime,
 ) -> Vec<Vec<f64>> {
-    let warmup = treadmill_sim_core::SimTime::from_micros(warmup_us);
     client_records
         .iter()
         .map(|records| {
@@ -138,7 +139,7 @@ mod tests {
     fn constant_summaries(values: &[f64]) -> Vec<LatencySummary> {
         values
             .iter()
-            .map(|&v| LatencySummary::from_samples(&vec![v; 10]))
+            .map(|&v| LatencySummary::from_samples(&[v; 10]))
             .collect()
     }
 

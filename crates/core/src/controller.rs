@@ -175,7 +175,7 @@ impl RateLimitedClosedLoopSource {
 
     fn take_slot(&mut self, rng: &mut dyn RngCore) -> SimTime {
         let slot = self.schedule_head;
-        self.schedule_head = self.schedule_head + self.process.sample_gap(rng);
+        self.schedule_head += self.process.sample_gap(rng);
         slot
     }
 }

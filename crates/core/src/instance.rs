@@ -75,7 +75,7 @@ impl TreadmillInstance {
             return;
         }
         self.seen += 1;
-        if self.config.sample_one_in > 1 && self.seen % self.config.sample_one_in != 0 {
+        if self.config.sample_one_in > 1 && !self.seen.is_multiple_of(self.config.sample_one_in) {
             self.skipped += 1;
             return;
         }

@@ -198,12 +198,10 @@ impl LoadTest {
 
     /// User-space measurement latencies per client from a report's raw
     /// records (µs), warm-up excluded — for analyses that need raw
-    /// samples rather than summaries.
+    /// samples rather than summaries. Cuts at the exact `SimTime`
+    /// warm-up boundary, matching [`LoadTestReport::pooled_latencies`].
     pub fn raw_latencies(&self, report: &LoadTestReport) -> Vec<Vec<f64>> {
-        latencies_per_client(
-            &report.run.client_records,
-            self.warmup.as_nanos() / 1_000,
-        )
+        latencies_per_client(&report.run.client_records, SimTime::ZERO + self.warmup)
     }
 }
 
@@ -237,12 +235,7 @@ impl LoadTestReport {
     pub fn completion_ratio(&self, target_rps: f64) -> f64 {
         let stop = self.run.sending_stopped_at;
         let expected = target_rps * stop.as_secs_f64();
-        let delivered = self
-            .run
-            .all_records()
-            .filter(|r| r.t_delivered <= stop)
-            .count();
-        delivered as f64 / expected
+        self.run.delivered_in_window as f64 / expected
     }
 }
 
@@ -287,6 +280,32 @@ mod tests {
             a.aggregated.p99, b.aggregated.p99,
             "different run indices draw fresh hysteresis state"
         );
+    }
+
+    #[test]
+    fn raw_and_pooled_views_agree_on_sample_counts() {
+        // A warm-up with a sub-microsecond component: truncating it to
+        // integer µs would move the cutoff and the two views would
+        // disagree near the boundary. Both must cut at the exact
+        // SimTime instant.
+        let test = quick_test(100_000.0).warmup(SimDuration::from_nanos(30_000_500));
+        let report = test.run(0);
+        let per_client = test.raw_latencies(&report);
+        let raw_total: usize = per_client.iter().map(Vec::len).sum();
+        assert_eq!(raw_total, report.pooled_latencies().len());
+        assert_eq!(raw_total, report.ground_truth.len());
+    }
+
+    #[test]
+    fn completion_ratio_counts_only_in_window_deliveries() {
+        let report = quick_test(150_000.0).run(0);
+        let stop = report.run.sending_stopped_at;
+        let recount = report
+            .run
+            .all_records()
+            .filter(|r| r.t_delivered <= stop)
+            .count();
+        assert_eq!(report.run.delivered_in_window, recount);
     }
 
     #[test]

@@ -117,9 +117,9 @@ mod tests {
     use super::*;
     use treadmill_stats::regression::Cell;
 
-    /// A synthetic dataset with known structure: latency = 100
-    /// + 50*numa + 20*numa*dvfs - 10*turbo (+ noise), constant across
-    /// quantiles.
+    /// A synthetic dataset with known structure: latency is
+    /// `100 + 50*numa + 20*numa*dvfs - 10*turbo` (+ noise), constant
+    /// across quantiles.
     fn synthetic_dataset(run_noise: f64) -> Dataset {
         use rand::Rng;
         let mut rng = rand::rngs::SmallRng::seed_from_u64(99);

@@ -8,8 +8,9 @@
 //! experiments comes from disjoint seed streams, and experiments run in
 //! parallel across OS threads.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, OnceLock};
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -81,13 +82,15 @@ pub struct Dataset {
 
 impl Dataset {
     /// Samples and configuration levels flattened for goodness-of-fit:
-    /// `(levels, latency)` pairs.
-    pub fn flattened(&self) -> Vec<(Vec<f64>, f64)> {
-        let mut out = Vec::new();
+    /// `(levels, latency)` pairs. Levels are borrowed from the cells —
+    /// a full factorial dataset holds millions of samples, and cloning
+    /// a 4-element `Vec` per sample used to dominate flattening time.
+    pub fn flattened(&self) -> Vec<(&[f64], f64)> {
+        let mut out = Vec::with_capacity(self.total_samples());
         for cell in &self.cells {
             for run in cell.runs() {
                 for &v in run {
-                    out.push((cell.levels.clone(), v));
+                    out.push((cell.levels.as_slice(), v));
                 }
             }
         }
@@ -121,11 +124,13 @@ pub fn collect(plan: &CollectionPlan) -> Dataset {
     let mut order_rng = SeedStream::new(plan.seed).stream("experiment-order", 0);
     jobs.shuffle(&mut order_rng);
 
-    let results: Mutex<Vec<Vec<Vec<f64>>>> =
-        Mutex::new(vec![vec![Vec::new(); plan.runs_per_config]; 16]);
+    // One pre-sized slot per job: each experiment writes its own
+    // `OnceLock`, so worker threads never serialize on a shared lock.
+    let slots: Vec<OnceLock<Vec<f64>>> =
+        (0..16 * plan.runs_per_config).map(|_| OnceLock::new()).collect();
     let next_job = AtomicUsize::new(0);
     let jobs = &jobs;
-    let results_ref = &results;
+    let slots_ref = &slots;
 
     std::thread::scope(|scope| {
         for _ in 0..plan.threads.max(1) {
@@ -136,16 +141,19 @@ pub fn collect(plan: &CollectionPlan) -> Dataset {
                 }
                 let (config_idx, rep) = jobs[idx];
                 let samples = run_one_experiment(plan, config_idx, rep);
-                results_ref.lock().expect("collector poisoned")[config_idx][rep] = samples;
+                slots_ref[config_idx * plan.runs_per_config + rep]
+                    .set(samples)
+                    .expect("each job owns exactly one slot");
             });
         }
     });
 
-    let per_config = results.into_inner().expect("collector poisoned");
-    let cells = per_config
+    let mut filled = slots
         .into_iter()
-        .enumerate()
-        .map(|(config_idx, runs)| {
+        .map(|slot| slot.into_inner().expect("every job slot filled"));
+    let cells = (0..16)
+        .map(|config_idx| {
+            let runs: Vec<Vec<f64>> = filled.by_ref().take(plan.runs_per_config).collect();
             let levels = HardwareConfig::from_index(config_idx).levels();
             Cell::new(levels, runs)
         })
@@ -176,15 +184,30 @@ fn run_one_experiment(plan: &CollectionPlan, config_idx: usize, rep: usize) -> V
     )
 }
 
-/// Randomly sub-samples `n` values (the paper's 20k per experiment);
-/// returns everything if fewer are available.
+/// Randomly sub-samples `n` values without replacement (the paper's 20k
+/// per experiment); returns everything if fewer are available.
+///
+/// Sparse partial Fisher–Yates: only the first `n` steps of the shuffle
+/// are performed, and displaced indices live in a hash map instead of a
+/// materialized `0..len` index vector — O(n) time and memory rather
+/// than O(len) for a full shuffle of a multi-million-sample run. The
+/// subset is still uniform, but the concrete draw for a given seed
+/// differs from the old full-shuffle implementation (an intentional
+/// one-time numeric change; determinism per seed is pinned by test).
 fn subsample<R: Rng>(values: &[f64], n: usize, mut rng: R) -> Vec<f64> {
     if values.len() <= n {
         return values.to_vec();
     }
-    let mut indices: Vec<usize> = (0..values.len()).collect();
-    indices.shuffle(&mut rng);
-    indices[..n].iter().map(|&i| values[i]).collect()
+    let mut displaced: HashMap<usize, usize> = HashMap::with_capacity(2 * n);
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let j = rng.gen_range(i..values.len());
+        let pick = displaced.get(&j).copied().unwrap_or(j);
+        let here = displaced.get(&i).copied().unwrap_or(i);
+        out.push(values[pick]);
+        displaced.insert(j, here);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -243,6 +266,33 @@ mod tests {
         }
         let rng = SmallRng::seed_from_u64(1);
         assert_eq!(subsample(&values, 200, rng).len(), 100);
+    }
+
+    #[test]
+    fn subsample_is_deterministic_per_seed() {
+        let values: Vec<f64> = (0..50_000).map(f64::from).collect();
+        let a = subsample(&values, 1_000, SmallRng::seed_from_u64(7));
+        let b = subsample(&values, 1_000, SmallRng::seed_from_u64(7));
+        assert_eq!(a, b, "same seed must reproduce the same subset");
+        let c = subsample(&values, 1_000, SmallRng::seed_from_u64(8));
+        assert_ne!(a, c, "different seeds must draw different subsets");
+    }
+
+    #[test]
+    fn subsample_draws_without_replacement() {
+        // All inputs distinct, so any repeated output value would mean
+        // an index was picked twice — the sparse swap map must prevent
+        // that exactly like a materialized Fisher–Yates would.
+        let values: Vec<f64> = (0..20_000).map(f64::from).collect();
+        let sampled = subsample(&values, 5_000, SmallRng::seed_from_u64(3));
+        assert_eq!(sampled.len(), 5_000);
+        let mut sorted = sampled.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5_000, "an index was sampled twice");
+        for &v in &sorted {
+            assert!((0.0..20_000.0).contains(&v) && v.fract() == 0.0);
+        }
     }
 
     #[test]

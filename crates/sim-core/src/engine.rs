@@ -41,6 +41,17 @@ impl<W: World> Engine<W> {
         }
     }
 
+    /// Creates an engine whose queue is pre-sized for `capacity` pending
+    /// events, avoiding growth reallocations on the hot schedule path.
+    pub fn with_queue_capacity(world: W, capacity: usize) -> Self {
+        Engine {
+            world,
+            queue: EventQueue::with_capacity(capacity),
+            now: SimTime::ZERO,
+            executed: 0,
+        }
+    }
+
     /// The current simulation instant.
     pub fn now(&self) -> SimTime {
         self.now
@@ -80,11 +91,29 @@ impl<W: World> Engine<W> {
         self.queue.schedule(at, event);
     }
 
+    /// Schedules an event `delay` after the current instant — the common
+    /// case, with no past-check needed (a non-negative offset from `now`
+    /// cannot land in the past).
+    pub fn schedule_after(&mut self, delay: crate::time::SimDuration, event: W::Event) {
+        self.queue.schedule(self.now + delay, event);
+    }
+
     /// Runs until the queue drains.
     ///
     /// Returns the number of events executed by this call.
     pub fn run_to_completion(&mut self) -> u64 {
-        self.run_until(SimTime::MAX)
+        // Unconditional pops: an infinite horizon never rejects an
+        // event, so the per-event root comparison of `run_until` would
+        // be pure overhead here.
+        let mut count = 0;
+        while let Some(scheduled) = self.queue.pop() {
+            debug_assert!(scheduled.at >= self.now, "time went backwards");
+            self.now = scheduled.at;
+            self.world.handle(self.now, scheduled.event, &mut self.queue);
+            self.executed += 1;
+            count += 1;
+        }
+        count
     }
 
     /// Runs until the queue drains or the next event would fire after
@@ -94,11 +123,9 @@ impl<W: World> Engine<W> {
     /// left at the last executed event (it does not jump to `horizon`).
     pub fn run_until(&mut self, horizon: SimTime) -> u64 {
         let mut count = 0;
-        while let Some(at) = self.queue.peek_time() {
-            if at > horizon {
-                break;
-            }
-            let scheduled = self.queue.pop().expect("peeked event vanished");
+        // pop_at_or_before does the horizon check on the heap root
+        // directly — no separate peek traversal per event.
+        while let Some(scheduled) = self.queue.pop_at_or_before(horizon) {
             debug_assert!(scheduled.at >= self.now, "time went backwards");
             self.now = scheduled.at;
             self.world.handle(self.now, scheduled.event, &mut self.queue);
@@ -210,6 +237,16 @@ mod tests {
         let n = engine.run_events(5);
         assert_eq!(n, 5);
         assert!(!engine.is_idle());
+    }
+
+    #[test]
+    fn schedule_after_offsets_from_now() {
+        let mut engine = Engine::with_queue_capacity(Ping { log: vec![] }, 16);
+        engine.schedule(SimTime::from_nanos(40), Ev::Ping(1));
+        engine.run_to_completion();
+        engine.schedule_after(SimDuration::from_nanos(10), Ev::Ping(2));
+        engine.run_to_completion();
+        assert_eq!(engine.world().log, vec![(40, 1), (50, 2)]);
     }
 
     #[test]

@@ -1,8 +1,14 @@
 //! The event queue: a time-ordered priority queue with stable FIFO
 //! ordering among events scheduled for the same instant.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//!
+//! Implemented as an implicit 4-ary min-heap over packed `(time, seq)`
+//! keys. The key array is dense (`u128` per entry: firing time in the
+//! high 64 bits, schedule sequence number in the low 64), so one
+//! comparison orders both time and FIFO tie-break, and the four children
+//! of a node share a cache line. Payloads live in a parallel array moved
+//! in lockstep, keeping the comparison-heavy sift loops off the (often
+//! large) event type. A 4-ary layout halves tree depth versus a binary
+//! heap, which is where the sift time goes on deep queues.
 
 use crate::time::SimTime;
 
@@ -17,39 +23,24 @@ pub struct ScheduledEvent<E> {
     pub event: E,
 }
 
-struct HeapEntry<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
+const ARITY: usize = 4;
+
+#[inline]
+fn pack(at: SimTime, seq: u64) -> u128 {
+    (u128::from(at.as_nanos()) << 64) | u128::from(seq)
 }
 
-impl<E> PartialEq for HeapEntry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for HeapEntry<E> {}
-
-impl<E> PartialOrd for HeapEntry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for HeapEntry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
-        // pops first. seq breaks ties FIFO, keeping runs deterministic.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
+#[inline]
+fn unpack_time(key: u128) -> SimTime {
+    SimTime::from_nanos((key >> 64) as u64)
 }
 
 /// A deterministic event queue.
 ///
 /// Events scheduled for the same [`SimTime`] pop in the order they were
 /// scheduled, which keeps simulations reproducible regardless of heap
-/// internals.
+/// internals: the packed key gives every entry a unique total order, so
+/// the pop sequence is a pure function of the schedule history.
 ///
 /// # Examples
 ///
@@ -63,17 +54,26 @@ impl<E> Ord for HeapEntry<E> {
 /// assert_eq!(queue.pop().unwrap().event, "late");
 /// assert!(queue.pop().is_none());
 /// ```
-#[derive(Default)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<HeapEntry<E>>,
+    /// Heap-ordered packed `(time << 64) | seq` keys.
+    keys: Vec<u128>,
+    /// Payloads, parallel to `keys`.
+    events: Vec<E>,
     next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            keys: Vec::new(),
+            events: Vec::new(),
             next_seq: 0,
         }
     }
@@ -81,41 +81,71 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue with room for `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            keys: Vec::with_capacity(capacity),
+            events: Vec::with_capacity(capacity),
             next_seq: 0,
         }
     }
 
     /// Schedules `event` to fire at instant `at`.
+    #[inline]
     pub fn schedule(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(HeapEntry { at, seq, event });
+        self.keys.push(pack(at, seq));
+        self.events.push(event);
+        self.sift_up(self.keys.len() - 1);
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
+    #[inline]
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        self.heap
-            .pop()
-            .map(|entry| ScheduledEvent {
-                at: entry.at,
-                event: entry.event,
-            })
+        let len = self.keys.len();
+        if len <= 1 {
+            // Near-empty queues are the steady state of chain-style
+            // simulations; skip the swap-and-sift machinery entirely.
+            let key = self.keys.pop()?;
+            let event = self.events.pop().expect("keys and events stay parallel");
+            return Some(ScheduledEvent {
+                at: unpack_time(key),
+                event,
+            });
+        }
+        let key = self.keys[0];
+        let moved = self.keys.pop().expect("checked non-empty");
+        self.keys[0] = moved;
+        let event = self.events.swap_remove(0);
+        self.sift_down(0);
+        Some(ScheduledEvent {
+            at: unpack_time(key),
+            event,
+        })
+    }
+
+    /// Pops the earliest event only if it fires at or before `horizon` —
+    /// one root comparison instead of a separate peek and pop.
+    #[inline]
+    pub fn pop_at_or_before(&mut self, horizon: SimTime) -> Option<ScheduledEvent<E>> {
+        let root = *self.keys.first()?;
+        if (root >> 64) as u64 > horizon.as_nanos() {
+            return None;
+        }
+        self.pop()
     }
 
     /// The firing instant of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|entry| entry.at)
+        self.keys.first().map(|&key| unpack_time(key))
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.keys.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.keys.is_empty()
     }
 
     /// Total number of events ever scheduled on this queue.
@@ -125,14 +155,70 @@ impl<E> EventQueue<E> {
 
     /// Drops all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.keys.clear();
+        self.events.clear();
+    }
+
+    /// Reserves room for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.keys.reserve(additional);
+        self.events.reserve(additional);
+    }
+
+    // Both sifts move the travelling key through a "hole" — one store
+    // per level instead of a three-move swap — and cache the keys they
+    // compare so each level does the minimum number of `u128` loads.
+    // The comparison sequence (and therefore the final heap layout) is
+    // identical to the textbook swap formulation.
+
+    fn sift_up(&mut self, mut idx: usize) {
+        let key = self.keys[idx];
+        while idx > 0 {
+            let parent = (idx - 1) / ARITY;
+            let parent_key = self.keys[parent];
+            if parent_key <= key {
+                break;
+            }
+            self.keys[idx] = parent_key;
+            self.events.swap(idx, parent);
+            idx = parent;
+        }
+        self.keys[idx] = key;
+    }
+
+    fn sift_down(&mut self, mut idx: usize) {
+        let len = self.keys.len();
+        let key = self.keys[idx];
+        loop {
+            let first = idx * ARITY + 1;
+            if first >= len {
+                break;
+            }
+            let last = (first + ARITY).min(len);
+            let mut min = first;
+            let mut min_key = self.keys[first];
+            for child in first + 1..last {
+                let child_key = self.keys[child];
+                if child_key < min_key {
+                    min = child;
+                    min_key = child_key;
+                }
+            }
+            if key <= min_key {
+                break;
+            }
+            self.keys[idx] = min_key;
+            self.events.swap(idx, min);
+            idx = min;
+        }
+        self.keys[idx] = key;
     }
 }
 
 impl<E> std::fmt::Debug for EventQueue<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventQueue")
-            .field("pending", &self.heap.len())
+            .field("pending", &self.keys.len())
             .field("scheduled_total", &self.next_seq)
             .finish()
     }
@@ -194,6 +280,45 @@ mod tests {
         q.schedule(SimTime::from_nanos(20), "b");
         assert_eq!(q.pop().unwrap().event, "b");
         assert_eq!(q.pop().unwrap().event, "c");
+    }
+
+    #[test]
+    fn pop_at_or_before_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(10), "early");
+        q.schedule(SimTime::from_nanos(30), "late");
+        let hit = q.pop_at_or_before(SimTime::from_nanos(10)).unwrap();
+        assert_eq!(hit.event, "early");
+        assert!(q.pop_at_or_before(SimTime::from_nanos(20)).is_none());
+        assert_eq!(q.len(), 1, "miss must not remove the event");
+        assert_eq!(q.pop_at_or_before(SimTime::from_nanos(30)).unwrap().event, "late");
+    }
+
+    #[test]
+    fn large_shuffled_load_pops_sorted() {
+        // Deterministic pseudo-shuffle exercising multi-level sifts.
+        let mut q = EventQueue::new();
+        let mut x: u64 = 0x243F_6A88_85A3_08D3;
+        let mut expect: Vec<u64> = Vec::new();
+        for i in 0..10_000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let t = x % 1_000; // dense collisions to stress FIFO ordering
+            q.schedule(SimTime::from_nanos(t), (t, i));
+            expect.push((t << 32) | i);
+        }
+        expect.sort_unstable();
+        let mut popped = Vec::new();
+        let mut last = (SimTime::ZERO, 0u64);
+        while let Some(s) = q.pop() {
+            let (t, i) = s.event;
+            assert_eq!(s.at, SimTime::from_nanos(t));
+            assert!((s.at, i) >= last, "order regressed at {t}/{i}");
+            last = (s.at, i);
+            popped.push((t << 32) | i);
+        }
+        assert_eq!(popped, expect);
     }
 
     #[test]

@@ -328,7 +328,7 @@ mod tests {
         );
         // Equal weights: median sits between the two runs.
         let even = cell.mixture_quantile(0.5, &[1, 1]);
-        assert!(even >= 3.0 && even <= 10.0, "median {even}");
+        assert!((3.0..=10.0).contains(&even), "median {even}");
         // Heavily weight the second run: median moves into it.
         let skewed = cell.mixture_quantile(0.5, &[1, 10]);
         assert!(skewed >= 10.0, "median {skewed}");

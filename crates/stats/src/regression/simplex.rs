@@ -153,25 +153,28 @@ fn pivot(
     num_vars: usize,
 ) {
     let pivot_val = tableau[row][col];
-    for j in 0..=num_vars {
-        tableau[row][j] /= pivot_val;
+    for value in &mut tableau[row][..=num_vars] {
+        *value /= pivot_val;
     }
-    for i in 0..tableau.len() {
+    // Snapshot the normalised pivot row so the elimination loops can
+    // walk other rows mutably without aliasing it.
+    let pivot_row: Vec<f64> = tableau[row][..=num_vars].to_vec();
+    for (i, other) in tableau.iter_mut().enumerate() {
         if i == row {
             continue;
         }
-        let factor = tableau[i][col];
+        let factor = other[col];
         if factor.abs() < EPS {
             continue;
         }
-        for j in 0..=num_vars {
-            tableau[i][j] -= factor * tableau[row][j];
+        for (value, &p) in other[..=num_vars].iter_mut().zip(&pivot_row) {
+            *value -= factor * p;
         }
     }
     let factor = obj[col];
     if factor.abs() > EPS {
-        for j in 0..=num_vars {
-            obj[j] -= factor * tableau[row][j];
+        for (value, &p) in obj[..=num_vars].iter_mut().zip(&pivot_row) {
+            *value -= factor * p;
         }
     }
 }

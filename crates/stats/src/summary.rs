@@ -152,7 +152,7 @@ pub fn aggregate_mean(summaries: &[LatencySummary]) -> LatencySummary {
 /// Panics if `summaries` is empty.
 pub fn aggregate_median(summaries: &[LatencySummary]) -> LatencySummary {
     assert!(!summaries.is_empty(), "aggregating zero summaries");
-    fn median_of(values: &mut Vec<f64>) -> f64 {
+    fn median_of(values: &mut [f64]) -> f64 {
         values.sort_by(f64::total_cmp);
         quantile_of_sorted(values, 0.5)
     }

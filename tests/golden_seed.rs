@@ -1,0 +1,65 @@
+//! Golden-seed pinning: the event queue, record pipeline and RNG
+//! streams together define the simulation's output bit-for-bit. These
+//! tests freeze one run's summary so hot-path refactors (queue swaps,
+//! buffer reuse) can prove they did not change observable behaviour.
+//!
+//! If a change *intends* to alter results (new RNG, different physics),
+//! update the constants in the same commit and say why.
+
+use std::sync::Arc;
+
+use treadmill::core::LoadTest;
+use treadmill::sim::SimDuration;
+use treadmill::workloads::Memcached;
+
+fn golden_test() -> LoadTest {
+    LoadTest::new(Arc::new(Memcached::default()), 250_000.0)
+        .clients(4)
+        .duration(SimDuration::from_millis(120))
+        .warmup(SimDuration::from_millis(30))
+        .seed(42)
+}
+
+#[test]
+fn load_test_run_zero_is_bit_stable() {
+    let report = golden_test().run(0);
+    let agg = &report.aggregated;
+    // Captured from the pre-refactor BinaryHeap event queue; the indexed
+    // 4-ary queue must reproduce these bits exactly (FIFO tie-break and
+    // RNG draw order are load-bearing).
+    let golden: &[(&str, f64, u64)] = &[
+        ("mean", agg.mean, 0x40501c2ac227e8da),
+        ("p50", agg.p50, 0x404dd74f1448d80b),
+        ("p90", agg.p90, 0x4054369d4cff4238),
+        ("p95", agg.p95, 0x4057610074c6b6e9),
+        ("p99", agg.p99, 0x4061dba25512ec6a),
+        ("p999", agg.p999, 0x406b8673114d2f5c),
+        ("min", agg.min, 0x40461d4fdf3b645a),
+        ("max", agg.max, 0x40768db645a1cac1),
+    ];
+    for (name, value, bits) in golden {
+        assert_eq!(
+            value.to_bits(),
+            *bits,
+            "aggregated {name} drifted: got {value:?} (0x{:016x})",
+            value.to_bits()
+        );
+    }
+    assert_eq!(agg.count, 22_378);
+    assert_eq!(report.run.total_responses(), 29_839);
+    assert_eq!(report.run.events_executed, 298_547);
+    assert_eq!(report.pooled_latencies().len(), 22_378);
+    assert_eq!(report.ground_truth.len(), 22_378);
+}
+
+#[test]
+fn distinct_run_indices_stay_distinct() {
+    let test = golden_test();
+    let a = test.run(0);
+    let b = test.run(1);
+    assert_ne!(
+        a.aggregated.p99.to_bits(),
+        b.aggregated.p99.to_bits(),
+        "run indices must derive distinct seed streams"
+    );
+}

@@ -1,0 +1,95 @@
+//! Property test: the 4-ary indexed event queue is observationally
+//! identical to a textbook binary-heap implementation under arbitrary
+//! interleavings of schedules and pops. The FIFO tie-break at equal
+//! times is part of the contract — simulations rely on it for
+//! bit-for-bit reproducibility.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use proptest::prelude::*;
+use treadmill::sim::{EventQueue, SimTime};
+
+/// The straightforward reference: a max-heap of inverted `(time, seq)`
+/// keys, exactly the structure the engine used before the 4-ary queue.
+#[derive(Default)]
+struct ReferenceQueue {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    next_seq: u64,
+}
+
+impl ReferenceQueue {
+    fn schedule(&mut self, at: u64) {
+        self.heap.push(Reverse((at, self.next_seq)));
+        self.next_seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        self.heap.pop().map(|Reverse(key)| key)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `ops` drives both queues: values below the threshold schedule an
+    /// event at that time (dense collisions on purpose), values at or
+    /// above it pop. Every pop must agree on `(time, seq)`.
+    #[test]
+    fn indexed_heap_matches_reference(
+        ops in prop::collection::vec(0u64..64, 1..600),
+    ) {
+        const POP_THRESHOLD: u64 = 48;
+        let mut queue: EventQueue<u64> = EventQueue::new();
+        let mut reference = ReferenceQueue::default();
+        let mut seq = 0u64;
+        for &op in &ops {
+            if op < POP_THRESHOLD {
+                // Event payload = its sequence number, so a pop exposes
+                // exactly which entry surfaced.
+                queue.schedule(SimTime::from_nanos(op), seq);
+                reference.schedule(op);
+                seq += 1;
+            } else {
+                let got = queue.pop().map(|s| (s.at.as_nanos(), s.event));
+                let want = reference.pop();
+                prop_assert_eq!(got, want);
+            }
+        }
+        // Drain both: the tail must agree too, and lengths must match.
+        loop {
+            let got = queue.pop().map(|s| (s.at.as_nanos(), s.event));
+            let want = reference.pop();
+            prop_assert_eq!(got, want);
+            if want.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// `pop_at_or_before` must behave as peek-then-pop: it pops exactly
+    /// when the reference's minimum is within the horizon.
+    #[test]
+    fn horizon_pop_matches_peek_then_pop(
+        times in prop::collection::vec(0u64..32, 1..200),
+        horizons in prop::collection::vec(0u64..40, 1..300),
+    ) {
+        let mut queue: EventQueue<u64> = EventQueue::new();
+        let mut reference = ReferenceQueue::default();
+        for (i, &t) in times.iter().enumerate() {
+            queue.schedule(SimTime::from_nanos(t), i as u64);
+            reference.schedule(t);
+        }
+        for &h in &horizons {
+            let got = queue
+                .pop_at_or_before(SimTime::from_nanos(h))
+                .map(|s| (s.at.as_nanos(), s.event));
+            let within = reference
+                .heap
+                .peek()
+                .is_some_and(|Reverse((t, _))| *t <= h);
+            let want = if within { reference.pop() } else { None };
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness with the criterion API shape
+//! this workspace's benches use: `Criterion`, benchmark groups with
+//! `sample_size`/`throughput`, `bench_function`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//! Results are printed as median per-iteration time (plus element
+//! throughput when configured); there is no statistical analysis, HTML
+//! report, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Re-exported opaque-value hint (prevents the optimiser from deleting
+/// benchmarked work).
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_benchmark(&name.into(), sample_size, None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Sets how much measurement time to budget (accepted for API
+    /// compatibility; this harness is sample-count driven).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let sample_size = self.sample_size.unwrap_or(20);
+        run_benchmark(&full, sample_size, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting one duration per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F>(name: &str, sample_size: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // One untimed warm-up call sizes the per-sample iteration count so
+    // fast benchmarks aren't dominated by timer resolution.
+    let mut warmup = Bencher { samples: Vec::new(), sample_count: 1, iters_per_sample: 1 };
+    f(&mut warmup);
+    let once = warmup.samples.first().copied().unwrap_or(Duration::ZERO);
+    let iters_per_sample = if once < Duration::from_micros(50) {
+        (Duration::from_millis(1).as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u64
+    } else {
+        1
+    };
+
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size.max(1)),
+        sample_count: sample_size.max(1),
+        iters_per_sample,
+    };
+    f(&mut bencher);
+
+    let mut per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(0.0);
+
+    let mut line = format!("{:<50} median {:>12}", name, format_seconds(median));
+    if let Some(Throughput::Elements(n)) = throughput {
+        if median > 0.0 {
+            line.push_str(&format!("  ({:.3} Melem/s)", n as f64 / median / 1e6));
+        }
+    }
+    if let Some(Throughput::Bytes(n)) = throughput {
+        if median > 0.0 {
+            line.push_str(&format!("  ({:.3} MiB/s)", n as f64 / median / (1024.0 * 1024.0)));
+        }
+    }
+    println!("{}", line);
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{:.4} s", s)
+    } else if s >= 1e-3 {
+        format!("{:.4} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.4} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(100));
+        let mut runs = 0u64;
+        group.bench_function("sum", |b| {
+            b.iter(|| {
+                runs += 1;
+                (0..100u64).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,496 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote` available offline) that
+//! expand `#[derive(Serialize, Deserialize)]` against the value-tree
+//! traits in the vendored `serde` shim. Supports exactly the container
+//! shapes this workspace uses:
+//!
+//! * named structs, with `#[serde(default)]`, `#[serde(default = "path")]`
+//!   and `#[serde(skip, default)]` field attributes;
+//! * single-field (newtype) tuple structs;
+//! * all-unit enums, serialised as the variant-name string;
+//! * internally tagged enums (`#[serde(tag = "...", rename_all =
+//!   "lowercase")]`) with named-field variants.
+//!
+//! Anything else panics at expansion time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct SerdeAttrs {
+    tag: Option<String>,
+    rename_all: Option<String>,
+    skip: bool,
+    default: Option<DefaultKind>,
+}
+
+enum DefaultKind {
+    Trait,
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+struct Variant {
+    name: String,
+    fields: Option<Vec<Field>>, // None = unit variant
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    Newtype,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: SerdeAttrs,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let attrs = take_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic type `{}` is not supported", name);
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                if n != 1 {
+                    panic!(
+                        "serde shim derive: tuple struct `{}` has {} fields; only newtypes are supported",
+                        name, n
+                    );
+                }
+                Shape::Newtype
+            }
+            other => panic!("serde shim derive: unsupported struct body for `{}`: {:?}", name, other),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unsupported enum body for `{}`: {:?}", name, other),
+        },
+        other => panic!("serde shim derive: unsupported item kind `{}`", other),
+    };
+    Item { name, attrs, shape }
+}
+
+/// Consumes leading `#[...]` attributes, folding any `serde(...)`
+/// directives into one `SerdeAttrs`; all other attributes (doc comments,
+/// `#[default]`, ...) are skipped.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut out = SerdeAttrs::default();
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                parse_attr_body(g.stream(), &mut out);
+                *i += 2;
+            }
+            _ => return out,
+        }
+    }
+}
+
+fn parse_attr_body(body: TokenStream, out: &mut SerdeAttrs) {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            parse_serde_directives(g.stream(), out);
+        }
+        _ => {} // doc comment, other derive helper, etc.
+    }
+}
+
+fn parse_serde_directives(body: TokenStream, out: &mut SerdeAttrs) {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim derive: unexpected token in serde attribute: {}", other),
+        };
+        i += 1;
+        let value = if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            let lit = match &toks[i] {
+                TokenTree::Literal(l) => string_literal(&l.to_string()),
+                other => panic!("serde shim derive: expected string literal, got {}", other),
+            };
+            i += 1;
+            Some(lit)
+        } else {
+            None
+        };
+        match (name.as_str(), value) {
+            ("tag", Some(v)) => out.tag = Some(v),
+            ("rename_all", Some(v)) => out.rename_all = Some(v),
+            ("skip", None) => out.skip = true,
+            ("default", None) => out.default = Some(DefaultKind::Trait),
+            ("default", Some(v)) => out.default = Some(DefaultKind::Path(v)),
+            (other, _) => panic!("serde shim derive: unsupported serde directive `{}`", other),
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+}
+
+fn string_literal(raw: &str) -> String {
+    let s = raw.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        s[1..s.len() - 1].to_string()
+    } else {
+        panic!("serde shim derive: expected a plain string literal, got {}", raw);
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, got {:?}", other),
+    }
+}
+
+/// Skips one type expression: everything up to a comma at angle-bracket
+/// depth zero (groups are single trees, so only `<`/`>` need tracking).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let attrs = take_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim derive: expected `:` after field `{}`, got {:?}", name, other),
+        }
+        skip_type(&toks, &mut i);
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        let _ = take_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(&toks, &mut i);
+        skip_type(&toks, &mut i);
+        n += 1;
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    n
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        let _ = take_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim derive: tuple enum variant `{}` is not supported", name)
+            }
+            _ => None,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn rename(variant: &str, rule: &Option<String>) -> String {
+    match rule.as_deref() {
+        None => variant.to_string(),
+        Some("lowercase") => variant.to_lowercase(),
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (idx, ch) in variant.chars().enumerate() {
+                if ch.is_uppercase() {
+                    if idx > 0 {
+                        out.push('_');
+                    }
+                    out.extend(ch.to_lowercase());
+                } else {
+                    out.push(ch);
+                }
+            }
+            out
+        }
+        Some(other) => panic!("serde shim derive: unsupported rename_all rule `{}`", other),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("let mut __map = ::serde::Map::new();\n");
+            for f in fields {
+                if f.attrs.skip {
+                    continue;
+                }
+                s.push_str(&format!(
+                    "__map.insert(\"{n}\".to_string(), ::serde::Serialize::serialize_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__map)");
+            s
+        }
+        Shape::Newtype => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let wire = rename(&v.name, &item.attrs.rename_all);
+                match (&v.fields, &item.attrs.tag) {
+                    (None, None) => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\"{wire}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    (None, Some(tag)) => arms.push_str(&format!(
+                        "{name}::{v} => {{\n\
+                         let mut __map = ::serde::Map::new();\n\
+                         __map.insert(\"{tag}\".to_string(), ::serde::Value::String(\"{wire}\".to_string()));\n\
+                         ::serde::Value::Object(__map)\n}}\n",
+                        v = v.name
+                    )),
+                    (Some(fields), Some(tag)) => {
+                        let pat: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut arm = format!("{name}::{v} {{ {p} }} => {{\n", v = v.name, p = pat.join(", "));
+                        arm.push_str("let mut __map = ::serde::Map::new();\n");
+                        arm.push_str(&format!(
+                            "__map.insert(\"{tag}\".to_string(), ::serde::Value::String(\"{wire}\".to_string()));\n"
+                        ));
+                        for f in fields {
+                            if f.attrs.skip {
+                                continue;
+                            }
+                            arm.push_str(&format!(
+                                "__map.insert(\"{n}\".to_string(), ::serde::Serialize::serialize_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        arm.push_str("::serde::Value::Object(__map)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                    (Some(_), None) => panic!(
+                        "serde shim derive: untagged data-carrying enum `{}` is not supported",
+                        name
+                    ),
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Expression rebuilding one field from object `__obj`, honouring
+/// skip/default attributes.
+fn field_expr(f: &Field, container: &str) -> String {
+    if f.attrs.skip {
+        return match &f.attrs.default {
+            Some(DefaultKind::Path(p)) => format!("{p}()"),
+            _ => "::std::default::Default::default()".to_string(),
+        };
+    }
+    let missing = match &f.attrs.default {
+        Some(DefaultKind::Trait) => "::std::default::Default::default()".to_string(),
+        Some(DefaultKind::Path(p)) => format!("{p}()"),
+        None => format!(
+            "return ::std::result::Result::Err(::serde::Error::custom(\
+             \"missing field `{n}` in {container}\"))",
+            n = f.name
+        ),
+    };
+    format!(
+        "match __obj.get(\"{n}\") {{\n\
+         ::std::option::Option::Some(__v) => ::serde::Deserialize::deserialize_value(__v)?,\n\
+         ::std::option::Option::None => {missing},\n}}",
+        n = f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = format!(
+                "let __obj = value.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;\n"
+            );
+            s.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&format!("{n}: {e},\n", n = f.name, e = field_expr(f, name)));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Newtype => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(value)?))"
+        ),
+        Shape::Enum(variants) => match &item.attrs.tag {
+            None => {
+                let mut arms = String::new();
+                for v in variants {
+                    if v.fields.is_some() {
+                        panic!(
+                            "serde shim derive: untagged data-carrying enum `{}` is not supported",
+                            name
+                        );
+                    }
+                    let wire = rename(&v.name, &item.attrs.rename_all);
+                    arms.push_str(&format!(
+                        "\"{wire}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    ));
+                }
+                format!(
+                    "let __s = value.as_str().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected string for {name}\"))?;\n\
+                     match __s {{\n{arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown {name} variant `{{}}`\", __other))),\n}}"
+                )
+            }
+            Some(tag) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let wire = rename(&v.name, &item.attrs.rename_all);
+                    match &v.fields {
+                        None => arms.push_str(&format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        )),
+                        Some(fields) => {
+                            let mut arm =
+                                format!("\"{wire}\" => ::std::result::Result::Ok({name}::{v} {{\n", v = v.name);
+                            for f in fields {
+                                arm.push_str(&format!(
+                                    "{n}: {e},\n",
+                                    n = f.name,
+                                    e = field_expr(f, name)
+                                ));
+                            }
+                            arm.push_str("}),\n");
+                            arms.push_str(&arm);
+                        }
+                    }
+                }
+                format!(
+                    "let __obj = value.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                     let __tag = __obj.get(\"{tag}\").and_then(::serde::Value::as_str)\
+                     .ok_or_else(|| ::serde::Error::custom(\"missing `{tag}` tag for {name}\"))?;\n\
+                     match __tag {{\n{arms}\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown {name} variant `{{}}`\", __other))),\n}}"
+                )
+            }
+        },
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize_value(value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
