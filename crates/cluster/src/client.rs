@@ -8,13 +8,33 @@
 //! does, and the resulting client-side queueing contaminates the
 //! latency it reports.
 
+use std::collections::HashMap;
+
 use rand::rngs::SmallRng;
 
 use treadmill_sim_core::{RateQueue, SimDuration, SimTime};
+use treadmill_workloads::RequestProfile;
 
 use crate::config::ClientSpec;
-use crate::request::ResponseRecord;
+use crate::fault::FailureRecord;
+use crate::request::{RequestId, ResponseRecord};
 use crate::source::TrafficSource;
+
+/// Robust-mode bookkeeping for one logical request awaiting a response.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct InFlight {
+    /// Connection the request uses (retries stay on it).
+    pub conn: u32,
+    /// The sampled resource profile (retries resend the same work).
+    pub profile: RequestProfile,
+    /// When the first attempt was generated — the latency origin for
+    /// whichever attempt eventually completes.
+    pub t_first: SimTime,
+    /// Current attempt number (0 = first try).
+    pub attempt: u32,
+    /// Whether a hedged duplicate has already been issued.
+    pub hedged: bool,
+}
 
 /// One client machine hosting a load-tester instance.
 #[derive(Debug)]
@@ -28,7 +48,14 @@ pub struct ClientMachine {
     cpu: RateQueue,
     /// Completed-request records, in delivery order.
     pub records: Vec<ResponseRecord>,
+    /// Abandoned-request records (timeouts / resets), in failure order.
+    pub failures: Vec<FailureRecord>,
     sent: u64,
+    pub(crate) in_flight: HashMap<RequestId, InFlight>,
+    pub(crate) retries_sent: u64,
+    pub(crate) hedges_sent: u64,
+    pub(crate) timeouts: u64,
+    pub(crate) resets: u64,
 }
 
 impl ClientMachine {
@@ -40,7 +67,13 @@ impl ClientMachine {
             rng,
             cpu: RateQueue::new("client-cpu"),
             records: Vec::new(),
+            failures: Vec::new(),
             sent: 0,
+            in_flight: HashMap::new(),
+            retries_sent: 0,
+            hedges_sent: 0,
+            timeouts: 0,
+            resets: 0,
         }
     }
 

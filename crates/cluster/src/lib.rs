@@ -40,6 +40,7 @@
 mod capture;
 mod client;
 mod config;
+mod fault;
 mod hysteresis;
 mod network;
 mod request;
@@ -52,9 +53,10 @@ mod world;
 pub use capture::{CapturedPair, PacketCapture};
 pub use client::ClientMachine;
 pub use config::{ClientSpec, HardwareConfig, HysteresisSpec, Level, NetworkSpec, ServerSpec};
+pub use fault::{FailureKind, FailureRecord, FaultPlan, FaultSpec, FaultSummary, RetryPolicy};
 pub use hysteresis::{ConnectionState, RunState};
 pub use network::Network;
 pub use request::{Request, RequestId, ResponseRecord};
 pub use source::{PoissonSource, SendOrder, TrafficSource};
-pub use trace::TraceSource;
+pub use trace::{TraceError, TraceSource};
 pub use world::{ClusterBuilder, ClusterWorld, CoreStats, Event, RunResult};

@@ -86,6 +86,14 @@ impl Network {
         self.client_downlinks[client].offer(now, tx).departure
     }
 
+    /// Bytes still queued (unserialised) at the server-NIC ingress at
+    /// `now` — the backlog a bounded NIC buffer would hold. Computed
+    /// in O(1) from the analytic queue's free instant.
+    pub fn ingress_backlog_bytes(&self, now: SimTime) -> f64 {
+        let backlog = self.server_ingress.free_at().saturating_duration_since(now);
+        backlog.as_nanos() as f64 * self.spec.bytes_per_ns
+    }
+
     /// Server-ingress utilisation over `[0, now]` (diagnostics).
     pub fn ingress_utilization(&self, now: SimTime) -> f64 {
         self.server_ingress.utilization(now)

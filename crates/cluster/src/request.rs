@@ -20,6 +20,9 @@ pub struct Request {
     pub conn: u32,
     /// Resource demands.
     pub profile: RequestProfile,
+    /// Which attempt this packet carries (0 = first try; retries and
+    /// hedges reuse the id with a higher attempt).
+    pub attempt: u32,
     /// When the load tester initiated the send (user space).
     pub t_generated: SimTime,
     /// When the request packet left the client NIC (tcpdump TX stamp).
@@ -53,6 +56,7 @@ impl Request {
             client,
             conn,
             profile,
+            attempt: 0,
             t_generated,
             t_client_nic_out: t_generated,
             t_server_nic_in: t_generated,
@@ -79,6 +83,8 @@ pub struct ResponseRecord {
     pub client: u32,
     /// Connection within the client.
     pub conn: u32,
+    /// Attempts used to obtain this response (1 = first try succeeded).
+    pub attempts: u32,
     /// When the load tester initiated the send.
     pub t_generated: SimTime,
     /// When the user-space callback observed the response.
@@ -107,6 +113,7 @@ impl ResponseRecord {
             id: req.id,
             client: req.client,
             conn: req.conn,
+            attempts: req.attempt + 1,
             t_generated: req.t_generated,
             t_delivered: req.t_delivered,
             t_nic_out: req.t_client_nic_out,

@@ -115,6 +115,20 @@ impl Core {
         self.queue.len()
     }
 
+    /// Empties the run queue (a server crash loses queued work),
+    /// returning how many *request-carrying* jobs were discarded.
+    /// The in-flight job, if any, is not touched — its completion
+    /// event is already on the heap and is invalidated by the caller.
+    pub fn clear_queue(&mut self) -> usize {
+        let dropped = self
+            .queue
+            .iter()
+            .filter(|job| matches!(job, CoreJob::Irq(_) | CoreJob::Work(_)))
+            .count();
+        self.queue.clear();
+        dropped
+    }
+
     /// Total jobs completed.
     pub fn jobs_done(&self) -> u64 {
         self.jobs_done

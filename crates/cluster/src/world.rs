@@ -19,8 +19,9 @@ use std::sync::Arc;
 use treadmill_sim_core::{Engine, EventQueue, SeedStream, SimDuration, SimTime, World};
 use treadmill_workloads::Workload;
 
-use crate::client::ClientMachine;
+use crate::client::{ClientMachine, InFlight};
 use crate::config::{ClientSpec, HardwareConfig, NetworkSpec, ServerSpec};
+use crate::fault::{FailureKind, FailureRecord, FaultPlan, FaultSpec, FaultSummary, RetryPolicy};
 use crate::hysteresis::RunState;
 use crate::network::Network;
 use crate::request::{Request, RequestId, ResponseRecord};
@@ -92,6 +93,37 @@ pub enum Event {
     GovernorTick,
     /// Package thermal-model tick.
     ThermalTick,
+    /// A per-attempt timeout armed by the retry policy. Stale if the
+    /// request already completed or moved to a later attempt.
+    RequestTimeout {
+        /// Client index.
+        client: u32,
+        /// The logical request.
+        id: RequestId,
+        /// The attempt this timer was armed for.
+        attempt: u32,
+    },
+    /// The backoff expired: resend the request.
+    RetryFire {
+        /// Client index.
+        client: u32,
+        /// The logical request.
+        id: RequestId,
+    },
+    /// The hedge delay expired: send a duplicate if still unanswered.
+    HedgeFire {
+        /// Client index.
+        client: u32,
+        /// The logical request.
+        id: RequestId,
+    },
+    /// An injected transient stall (GC pause) lands on a random core.
+    FaultStall,
+    /// A pre-drawn whole-server crash window begins.
+    ServerCrash,
+    /// The server reset a connection (it was down); the client observes
+    /// the reset after propagation.
+    ConnReset(Box<Request>),
 }
 
 /// The complete simulated cluster (implements [`World`]).
@@ -110,6 +142,11 @@ pub struct ClusterWorld {
     outstanding: u32,
     outstanding_samples: Vec<(SimTime, u32)>,
     sample_outstanding: bool,
+    /// `None` when no faults are configured — the fault-free hot path
+    /// then executes the exact event/RNG sequence of the plain engine.
+    faults: Option<FaultPlan>,
+    /// `None` when the retry policy is disabled.
+    policy: Option<RetryPolicy>,
 }
 
 impl ClusterWorld {
@@ -169,6 +206,62 @@ impl ClusterWorld {
         };
         queue.schedule(now + duration, Event::CoreJobDone { core, start: now, job });
     }
+
+    /// A tracked request's current attempt failed (timeout or reset):
+    /// schedule a retry if the budget allows, otherwise abandon it and
+    /// record a right-censored failure. Only called in robust mode.
+    fn fail_or_retry(
+        &mut self,
+        client: u32,
+        id: RequestId,
+        kind: FailureKind,
+        now: SimTime,
+        queue: &mut EventQueue<Event>,
+    ) {
+        let policy = self.policy.expect("fail_or_retry without a retry policy");
+        let ci = client as usize;
+        let Some(entry) = self.clients[ci].in_flight.get(&id).copied() else {
+            return;
+        };
+        if entry.attempt < policy.max_retries {
+            let e = self.clients[ci]
+                .in_flight
+                .get_mut(&id)
+                .expect("entry present");
+            e.attempt += 1;
+            let attempt = e.attempt;
+            queue.schedule(now + policy.backoff(id, attempt), Event::RetryFire { client, id });
+        } else {
+            self.clients[ci].in_flight.remove(&id);
+            self.outstanding -= 1;
+            self.clients[ci].failures.push(FailureRecord {
+                id,
+                client,
+                conn: entry.conn,
+                t_generated: entry.t_first,
+                t_failed: now,
+                attempts: entry.attempt + 1,
+                kind,
+            });
+            // Tell the source the slot freed up so closed-loop testers
+            // don't deadlock on a request that will never return.
+            let next = {
+                let c = &mut self.clients[ci];
+                c.source.on_response(entry.conn, now, &mut c.rng)
+            };
+            if let Some(order) = next {
+                self.maybe_schedule_send(client, order, queue);
+            }
+        }
+    }
+
+    /// Builds the resend packet for a retry or hedge: same id, same
+    /// profile, latency origin pinned to the first attempt.
+    fn resend_packet(&mut self, client: u32, id: RequestId, entry: InFlight) -> Box<Request> {
+        let mut req = Box::new(Request::new(id, client, entry.conn, entry.profile, entry.t_first));
+        req.attempt = entry.attempt;
+        req
+    }
 }
 
 impl World for ClusterWorld {
@@ -192,6 +285,27 @@ impl World for ClusterWorld {
                 if self.sample_outstanding {
                     self.outstanding_samples.push((now, self.outstanding));
                 }
+                if let Some(policy) = self.policy {
+                    self.clients[ci].in_flight.insert(
+                        id,
+                        InFlight {
+                            conn,
+                            profile,
+                            t_first: now,
+                            attempt: 0,
+                            hedged: false,
+                        },
+                    );
+                    if policy.timeout_us > 0.0 {
+                        queue.schedule(
+                            now + policy.timeout(),
+                            Event::RequestTimeout { client, id, attempt: 0 },
+                        );
+                    }
+                    if policy.hedge_after_us > 0.0 {
+                        queue.schedule(now + policy.hedge_delay(), Event::HedgeFire { client, id });
+                    }
+                }
                 let tx_at = self.clients[ci].tx_ready_at(now);
                 queue.schedule(tx_at, Event::ClientTxNic(req));
                 let next = {
@@ -207,11 +321,31 @@ impl World for ClusterWorld {
                 let out = self
                     .network
                     .uplink_departure(ci, now, req.profile.request_bytes);
+                if let Some(plan) = &mut self.faults {
+                    // The packet serialised onto the wire, then died.
+                    if plan.drop_uplink() {
+                        return;
+                    }
+                }
                 req.t_client_nic_out = out;
                 let arrive = out + self.network.propagation(ci);
                 queue.schedule(arrive, Event::ServerNicArrive(req));
             }
             Event::ServerNicArrive(mut req) => {
+                if let Some(plan) = &mut self.faults {
+                    if plan.server_down_at(now) {
+                        // A down server answers with a RST; the client
+                        // sees it one propagation delay later.
+                        let ci = req.client as usize;
+                        let back = now + self.network.propagation(ci);
+                        queue.schedule(back, Event::ConnReset(req));
+                        return;
+                    }
+                    let backlog = self.network.ingress_backlog_bytes(now);
+                    if plan.nic_overflow(backlog, req.profile.request_bytes) {
+                        return;
+                    }
+                }
                 let done = self
                     .network
                     .ingress_departure(now, req.profile.request_bytes);
@@ -227,6 +361,13 @@ impl World for ClusterWorld {
                 );
             }
             Event::CoreEnqueue { core, job } => {
+                if let Some(plan) = &mut self.faults {
+                    if plan.server_down_at(now) {
+                        // The crash hit between NIC and core handoff.
+                        plan.add_crash_drops(1);
+                        return;
+                    }
+                }
                 self.server.cores[core].enqueue(job);
                 if !self.server.cores[core].is_busy() {
                     self.dispatch_core(core, now, queue);
@@ -234,6 +375,23 @@ impl World for ClusterWorld {
             }
             Event::CoreJobDone { core, start, job } => {
                 self.server.cores[core].finish_job(start, now.duration_since(start));
+                // A job that started before the latest crash was wiped
+                // with the server's memory; its result is lost even
+                // though the core's busy window is accounted.
+                let crashed = self
+                    .faults
+                    .as_ref()
+                    .is_some_and(|plan| start < plan.last_crash_at());
+                if crashed {
+                    if matches!(job, CoreJob::Irq(_) | CoreJob::Work(_)) {
+                        self.faults
+                            .as_mut()
+                            .expect("crash flag implies plan")
+                            .add_crash_drops(1);
+                    }
+                    self.dispatch_core(core, now, queue);
+                    return;
+                }
                 match job {
                     CoreJob::Irq(mut req) => {
                         req.t_irq_done = now;
@@ -255,9 +413,15 @@ impl World for ClusterWorld {
                             .network
                             .egress_departure(now, req.profile.response_bytes);
                         req.t_server_nic_out = out;
-                        let ci = req.client as usize;
-                        let arrive = out + self.network.propagation(ci);
-                        queue.schedule(arrive, Event::ClientNicArrive(req));
+                        let lost = self
+                            .faults
+                            .as_mut()
+                            .is_some_and(FaultPlan::drop_downlink);
+                        if !lost {
+                            let ci = req.client as usize;
+                            let arrive = out + self.network.propagation(ci);
+                            queue.schedule(arrive, Event::ClientNicArrive(req));
+                        }
                     }
                     CoreJob::Stall(_) => {}
                 }
@@ -280,6 +444,12 @@ impl World for ClusterWorld {
             Event::Delivered(mut req) => {
                 req.t_delivered = now;
                 let ci = req.client as usize;
+                if self.policy.is_some() && self.clients[ci].in_flight.remove(&req.id).is_none() {
+                    // A hedge lost the race, or the response arrived
+                    // after the tester gave up — either way the logical
+                    // request is already settled.
+                    return;
+                }
                 self.outstanding -= 1;
                 self.clients[ci]
                     .records
@@ -309,6 +479,107 @@ impl World for ClusterWorld {
                 let next = now + self.server.spec().thermal_period;
                 if next <= self.stop_sending_at {
                     queue.schedule(next, Event::ThermalTick);
+                }
+            }
+            Event::RequestTimeout { client, id, attempt } => {
+                let ci = client as usize;
+                let Some(entry) = self.clients[ci].in_flight.get(&id) else {
+                    return; // completed before the timer fired
+                };
+                if entry.attempt != attempt {
+                    return; // a later attempt re-armed the timer
+                }
+                self.clients[ci].timeouts += 1;
+                self.fail_or_retry(client, id, FailureKind::TimedOut, now, queue);
+            }
+            Event::RetryFire { client, id } => {
+                let ci = client as usize;
+                let Some(entry) = self.clients[ci].in_flight.get(&id).copied() else {
+                    return; // a late response settled it during backoff
+                };
+                let policy = self.policy.expect("retry without a policy");
+                let req = self.resend_packet(client, id, entry);
+                self.clients[ci].retries_sent += 1;
+                let tx_at = self.clients[ci].tx_ready_at(now);
+                queue.schedule(tx_at, Event::ClientTxNic(req));
+                if policy.timeout_us > 0.0 {
+                    queue.schedule(
+                        now + policy.timeout(),
+                        Event::RequestTimeout { client, id, attempt: entry.attempt },
+                    );
+                }
+            }
+            Event::HedgeFire { client, id } => {
+                let ci = client as usize;
+                let Some(entry) = self.clients[ci].in_flight.get_mut(&id) else {
+                    return; // already answered
+                };
+                if entry.hedged {
+                    return;
+                }
+                entry.hedged = true;
+                let entry = *entry;
+                let req = self.resend_packet(client, id, entry);
+                self.clients[ci].hedges_sent += 1;
+                let tx_at = self.clients[ci].tx_ready_at(now);
+                queue.schedule(tx_at, Event::ClientTxNic(req));
+            }
+            Event::FaultStall => {
+                let cores = self.server.cores.len();
+                let plan = self.faults.as_mut().expect("stall without a plan");
+                let (core, stall) = plan.draw_stall(cores);
+                let gap = plan.draw_stall_gap();
+                self.server.cores[core].enqueue_front(CoreJob::Stall(stall));
+                if !self.server.cores[core].is_busy() {
+                    self.dispatch_core(core, now, queue);
+                }
+                let next = now + gap;
+                if next <= self.stop_sending_at {
+                    queue.schedule(next, Event::FaultStall);
+                }
+            }
+            Event::ServerCrash => {
+                let mut dropped = 0u64;
+                for core in &mut self.server.cores {
+                    dropped += core.clear_queue() as u64;
+                }
+                let plan = self.faults.as_mut().expect("crash without a plan");
+                plan.note_crash(now);
+                plan.add_crash_drops(dropped);
+            }
+            Event::ConnReset(req) => {
+                let client = req.client;
+                let ci = client as usize;
+                if self.policy.is_some() {
+                    let Some(entry) = self.clients[ci].in_flight.get(&req.id) else {
+                        return; // a hedge already succeeded
+                    };
+                    if entry.attempt != req.attempt {
+                        return; // reset of a superseded attempt
+                    }
+                    self.clients[ci].resets += 1;
+                    self.fail_or_retry(client, req.id, FailureKind::ConnectionReset, now, queue);
+                } else {
+                    // No retry policy: surface the failure immediately
+                    // so closed-loop sources keep flowing.
+                    self.clients[ci].resets += 1;
+                    self.outstanding -= 1;
+                    self.clients[ci].failures.push(FailureRecord {
+                        id: req.id,
+                        client,
+                        conn: req.conn,
+                        t_generated: req.t_generated,
+                        t_failed: now,
+                        attempts: req.attempt + 1,
+                        kind: FailureKind::ConnectionReset,
+                    });
+                    let next = {
+                        let c = &mut self.clients[ci];
+                        c.source.on_response(req.conn, now, &mut c.rng)
+                    };
+                    if let Some(order) = next {
+                        self.maybe_schedule_send(client, order, queue);
+                    }
                 }
             }
         }
@@ -343,6 +614,8 @@ pub struct ClusterBuilder {
     duration: SimDuration,
     sample_outstanding: bool,
     trace_frequencies: bool,
+    fault_spec: FaultSpec,
+    retry_policy: RetryPolicy,
 }
 
 impl ClusterBuilder {
@@ -359,6 +632,8 @@ impl ClusterBuilder {
             duration: SimDuration::from_millis(100),
             sample_outstanding: false,
             trace_frequencies: false,
+            fault_spec: FaultSpec::default(),
+            retry_policy: RetryPolicy::default(),
         }
     }
 
@@ -412,6 +687,20 @@ impl ClusterBuilder {
         self
     }
 
+    /// Configures fault injection. The default (all-zero) spec leaves
+    /// the run bit-identical to a fault-free build.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.fault_spec = spec;
+        self
+    }
+
+    /// Configures client-side timeouts / retries / hedging. The default
+    /// policy is disabled and changes nothing.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = policy;
+        self
+    }
+
     /// Builds the engine with all initial events scheduled.
     ///
     /// # Panics
@@ -445,6 +734,12 @@ impl ClusterBuilder {
         }
         let governor_period = server.spec().governor_period;
         let thermal_period = server.spec().thermal_period;
+        let faults = self.fault_spec.is_active().then(|| {
+            FaultPlan::generate(self.fault_spec, self.duration, seeds.stream("faults", 0))
+        });
+        let policy = self.retry_policy.enabled().then_some(self.retry_policy);
+        let crash_starts = faults.as_ref().map(FaultPlan::crash_starts).unwrap_or_default();
+        let first_stall = faults.as_ref().and_then(FaultPlan::first_stall);
         let world = ClusterWorld {
             workload: self.workload,
             server,
@@ -456,6 +751,8 @@ impl ClusterBuilder {
             outstanding: 0,
             outstanding_samples: Vec::new(),
             sample_outstanding: self.sample_outstanding,
+            faults,
+            policy,
         };
         // Steady state keeps roughly one in-flight event per open
         // connection plus per-core completions and the periodic ticks;
@@ -477,6 +774,12 @@ impl ClusterBuilder {
         }
         engine.schedule(SimTime::ZERO + governor_period, Event::GovernorTick);
         engine.schedule(SimTime::ZERO + thermal_period, Event::ThermalTick);
+        for at in crash_starts {
+            engine.schedule(at, Event::ServerCrash);
+        }
+        if let Some(at) = first_stall {
+            engine.schedule(at, Event::FaultStall);
+        }
         engine
     }
 
@@ -516,8 +819,23 @@ impl ClusterBuilder {
             .frequency_trace()
             .map(<[crate::server::FrequencyEvent]>::to_vec)
             .unwrap_or_default();
-        let client_records: Vec<Vec<ResponseRecord>> =
-            world.clients.into_iter().map(|c| c.records).collect();
+        let mut fault_summary = world
+            .faults
+            .as_ref()
+            .map(FaultPlan::summary_base)
+            .unwrap_or_default();
+        let mut client_records: Vec<Vec<ResponseRecord>> =
+            Vec::with_capacity(world.clients.len());
+        let mut client_failures = Vec::with_capacity(world.clients.len());
+        for c in world.clients {
+            fault_summary.retries += c.retries_sent;
+            fault_summary.hedges += c.hedges_sent;
+            fault_summary.timeouts += c.timeouts;
+            fault_summary.resets += c.resets;
+            fault_summary.failed_requests += c.failures.len() as u64;
+            client_records.push(c.records);
+            client_failures.push(c.failures);
+        }
         let delivered_in_window = client_records
             .iter()
             .flatten()
@@ -532,6 +850,8 @@ impl ClusterBuilder {
             client_cpu_utilization,
             frequency_trace,
             client_records,
+            client_failures,
+            fault_summary,
             delivered_in_window,
             outstanding: world.outstanding_samples,
             sending_stopped_at,
@@ -546,6 +866,12 @@ impl ClusterBuilder {
 pub struct RunResult {
     /// Completed-request records, per client, in delivery order.
     pub client_records: Vec<Vec<ResponseRecord>>,
+    /// Abandoned-request records (timeouts / resets), per client.
+    /// Empty when no faults were configured.
+    pub client_failures: Vec<Vec<FailureRecord>>,
+    /// Fault-injection and robustness counters (all zero for a
+    /// fault-free run).
+    pub fault_summary: FaultSummary,
     /// Responses delivered no later than `sending_stopped_at` —
     /// precomputed so completion-ratio checks don't re-walk every record.
     pub delivered_in_window: usize,
@@ -583,6 +909,33 @@ impl RunResult {
     /// Total responses delivered.
     pub fn total_responses(&self) -> usize {
         self.client_records.iter().map(Vec::len).sum()
+    }
+
+    /// Total logical requests the testers abandoned.
+    pub fn total_failures(&self) -> usize {
+        self.client_failures.iter().map(Vec::len).sum()
+    }
+
+    /// Fraction of settled logical requests that ended in failure
+    /// (0.0 for a clean run).
+    pub fn loss_fraction(&self) -> f64 {
+        let failed = self.total_failures();
+        let settled = failed + self.total_responses();
+        if settled == 0 {
+            return 0.0;
+        }
+        failed as f64 / settled as f64
+    }
+
+    /// Right-censored latencies (µs) of requests abandoned at or after
+    /// `warmup` — lower bounds for the omission-correction estimator.
+    pub fn censored_latencies_us(&self, warmup: SimTime) -> Vec<f64> {
+        self.client_failures
+            .iter()
+            .flatten()
+            .filter(|f| f.t_generated >= warmup)
+            .map(FailureRecord::censored_latency_us)
+            .collect()
     }
 
     /// User-space latencies (µs) of records generated at or after

@@ -6,6 +6,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
+use treadmill_cluster::{FaultSpec, RetryPolicy};
 use treadmill_sim_core::SimDuration;
 use treadmill_workloads::{SpecError, WorkloadSpec};
 
@@ -94,6 +95,12 @@ pub struct LoadTestConfig {
     /// Master seed.
     #[serde(default)]
     pub seed: u64,
+    /// Fault-injection configuration (default: no faults).
+    #[serde(default)]
+    pub faults: FaultSpec,
+    /// Client-side timeout / retry / hedging policy (default: off).
+    #[serde(default)]
+    pub retry: RetryPolicy,
 }
 
 fn default_clients() -> usize {
@@ -146,13 +153,21 @@ impl LoadTestConfig {
                 self.warmup_ms, self.duration_ms
             )));
         }
+        self.faults
+            .validate()
+            .map_err(|msg| ConfigError::Invalid(format!("faults: {msg}")))?;
+        self.retry
+            .validate()
+            .map_err(|msg| ConfigError::Invalid(format!("retry: {msg}")))?;
         let workload: Arc<dyn treadmill_workloads::Workload> = self.workload.build()?;
         Ok(LoadTest::new(workload, self.target_rps)
             .clients(self.clients)
             .connections_per_client(self.connections_per_client)
             .duration(SimDuration::from_millis(self.duration_ms))
             .warmup(SimDuration::from_millis(self.warmup_ms))
-            .seed(self.seed))
+            .seed(self.seed)
+            .faults(self.faults)
+            .retry_policy(self.retry))
     }
 }
 

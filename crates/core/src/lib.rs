@@ -60,4 +60,6 @@ pub use instance::{InstanceConfig, TreadmillInstance};
 pub use interarrival::InterArrival;
 pub use phases::{Phase, PhaseConfig};
 pub use report::{health_warnings, render_report};
-pub use runner::{LoadTest, LoadTestReport};
+pub use runner::{
+    LoadTest, LoadTestReport, RerunPolicy, RobustRunOutcome, RunDegradation,
+};

@@ -14,6 +14,30 @@
 //! still no substitute for an open-loop tester — it reconstructs
 //! queue-wait arithmetic, not the queueing dynamics the unsent requests
 //! would have caused.
+//!
+//! # Timeout-censored observations
+//!
+//! A robust load tester abandons requests (per-attempt timeouts,
+//! connection resets). Dropping those from the distribution biases the
+//! tail *down* — the abandoned requests are precisely the slowest ones.
+//! [`correct_with_censored`] instead counts each abandoned request as a
+//! **right-censored** observation at its censoring value (the elapsed
+//! time when the tester gave up).
+//!
+//! Estimator choice: censoring here is *type-I* — every censored
+//! request was observed for a known, deterministic horizon (the retry
+//! budget), not a random one. Under type-I censoring the Kaplan–Meier
+//! product-limit estimator degenerates to the empirical CDF below the
+//! censoring point, so we use the simpler wrk2/HdrHistogram convention
+//! directly: insert each censored request *at* its censoring value (a
+//! lower bound on its true latency) and flag every quantile at or above
+//! rank `1 − censored_fraction` as a lower bound rather than an
+//! estimate. Quantiles below that rank are exact: all censored values
+//! exceed every uncensored value at those ranks by construction,
+//! because a request is only abandoned after outliving its timeout
+//! budget. Each censored observation also receives the usual
+//! coordinated-omission backfill — it occupied its connection for at
+//! least its censored time.
 
 /// Applies coordinated-omission correction to closed-loop latency
 /// samples (µs), given the schedule's intended inter-send interval per
@@ -50,6 +74,84 @@ pub fn correct_coordinated_omission(samples_us: &[f64], interval_us: f64) -> Vec
         }
     }
     corrected
+}
+
+/// A latency distribution corrected for coordinated omission with
+/// timeout-censored observations retained (see the module comment for
+/// the estimator choice).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CensoredCorrection {
+    /// Corrected samples: observed latencies, censored lower bounds,
+    /// and the coordinated-omission backfill of both. Unordered.
+    pub corrected: Vec<f64>,
+    /// Number of censored (abandoned) requests included.
+    pub censored: usize,
+    /// Quantiles at or above this rank are lower bounds, not
+    /// estimates: `1 − censored / (observed + censored)`. 1.0 when
+    /// nothing was censored.
+    pub reliable_below: f64,
+}
+
+impl CensoredCorrection {
+    /// The `q`-quantile of the corrected distribution and whether it is
+    /// exact (`false` means it is only a lower bound because it falls
+    /// in the censored tail).
+    pub fn quantile(&self, q: f64) -> (f64, bool) {
+        let value = treadmill_stats::quantile::quantile(&self.corrected, q);
+        (value, q < self.reliable_below)
+    }
+}
+
+/// Applies coordinated-omission correction to observed latencies plus
+/// right-censored observations from abandoned requests (µs). Censored
+/// values are inserted at their censoring point — a lower bound — and
+/// backfilled like any other stall; the result records the rank above
+/// which quantiles are lower bounds only.
+///
+/// # Panics
+///
+/// Panics if `interval_us` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use treadmill_core::omission::correct_with_censored;
+///
+/// let c = correct_with_censored(&[10.0, 12.0, 11.0], &[5_000.0], 1_000.0);
+/// assert_eq!(c.censored, 1);
+/// // 3 observed + 1 censored + 4 backfill from the 5ms censored stall.
+/// assert_eq!(c.corrected.len(), 8);
+/// let (p50, exact) = c.quantile(0.5);
+/// assert!(exact && p50 < 5_000.0);
+/// let (p99, exact) = c.quantile(0.99);
+/// assert!(!exact && p99 >= 4_000.0, "tail is a lower bound");
+/// ```
+pub fn correct_with_censored(
+    samples_us: &[f64],
+    censored_us: &[f64],
+    interval_us: f64,
+) -> CensoredCorrection {
+    assert!(interval_us > 0.0, "send interval must be positive");
+    let mut corrected = correct_coordinated_omission(samples_us, interval_us);
+    for &lower_bound in censored_us {
+        corrected.push(lower_bound);
+        let mut implied = lower_bound - interval_us;
+        while implied > 0.0 {
+            corrected.push(implied);
+            implied -= interval_us;
+        }
+    }
+    let total = samples_us.len() + censored_us.len();
+    let reliable_below = if total == 0 {
+        1.0
+    } else {
+        1.0 - censored_us.len() as f64 / total as f64
+    };
+    CensoredCorrection {
+        corrected,
+        censored: censored_us.len(),
+        reliable_below,
+    }
 }
 
 /// Summary of a correction: how many samples were added and how the
@@ -126,5 +228,49 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_interval_rejected() {
         correct_coordinated_omission(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn no_censoring_matches_plain_correction() {
+        let samples = [10.0, 95.0, 12.0];
+        let c = correct_with_censored(&samples, &[], 20.0);
+        assert_eq!(c.corrected, correct_coordinated_omission(&samples, 20.0));
+        assert_eq!(c.censored, 0);
+        assert_eq!(c.reliable_below, 1.0);
+        assert!(c.quantile(0.999).1, "everything exact without censoring");
+    }
+
+    #[test]
+    fn censored_requests_raise_the_tail() {
+        // 99 fast samples; one request abandoned after 2ms. Dropping it
+        // would report a ~10us p99; censoring keeps the tail honest.
+        let samples = vec![10.0; 99];
+        let plain_p99 = treadmill_stats::quantile::quantile(&samples, 0.99);
+        let c = correct_with_censored(&samples, &[2_000.0], 100.0);
+        let (p99, exact) = c.quantile(0.99);
+        assert!(p99 > plain_p99 * 10.0, "censored tail: {p99}");
+        assert!(!exact, "p99 falls in the censored mass: lower bound only");
+        let (p50, exact) = c.quantile(0.5);
+        assert_eq!(p50, 10.0);
+        assert!(exact);
+    }
+
+    #[test]
+    fn censored_mass_sets_the_reliability_rank() {
+        let samples = vec![10.0; 90];
+        let censored = vec![1_000.0; 10];
+        let c = correct_with_censored(&samples, &censored, 10_000.0);
+        assert_eq!(c.censored, 10);
+        assert!((c.reliable_below - 0.9).abs() < 1e-12);
+        assert!(c.quantile(0.89).1);
+        assert!(!c.quantile(0.95).1);
+    }
+
+    #[test]
+    fn censored_values_are_backfilled_like_stalls() {
+        let c = correct_with_censored(&[], &[95.0], 20.0);
+        let mut got = c.corrected.clone();
+        got.sort_by(f64::total_cmp);
+        assert_eq!(got, vec![15.0, 35.0, 55.0, 75.0, 95.0]);
     }
 }

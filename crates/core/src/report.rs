@@ -98,6 +98,27 @@ pub fn health_warnings(report: &LoadTestReport, target_rps: f64) -> Vec<String> 
              unreliable; lengthen the run"
         ));
     }
+    let loss = report.loss_fraction();
+    if loss > 0.01 {
+        warnings.push(format!(
+            "{:.1}% of requests were abandoned (timeouts/resets) — reported \
+             quantiles in the censored tail are lower bounds; see \
+             omission::correct_with_censored",
+            loss * 100.0
+        ));
+    }
+    let faults = &report.run.fault_summary;
+    if !faults.is_quiet() {
+        warnings.push(format!(
+            "fault injection active: {} drops, {} crashes, {} stalls, {} retries, \
+             {} hedges — latencies include injected faults",
+            faults.total_drops(),
+            faults.crashes,
+            faults.stalls,
+            faults.retries,
+            faults.hedges
+        ));
+    }
     warnings
 }
 
@@ -154,6 +175,32 @@ mod tests {
         assert!(
             warnings.iter().any(|w| w.contains("cannot sustain")),
             "expected a completion warning, got {warnings:?}"
+        );
+    }
+
+    #[test]
+    fn faulty_run_is_flagged() {
+        use treadmill_cluster::{FaultSpec, RetryPolicy};
+        let rps = 150_000.0;
+        let report = LoadTest::new(Arc::new(Memcached::default()), rps)
+            .clients(4)
+            .duration(SimDuration::from_millis(150))
+            .warmup(SimDuration::from_millis(30))
+            .faults(FaultSpec {
+                uplink_loss: 0.05,
+                ..Default::default()
+            })
+            .retry_policy(RetryPolicy {
+                timeout_us: 2_000.0,
+                max_retries: 1,
+                ..Default::default()
+            })
+            .seed(6)
+            .run(0);
+        let warnings = health_warnings(&report, rps);
+        assert!(
+            warnings.iter().any(|w| w.contains("fault injection active")),
+            "expected a fault warning, got {warnings:?}"
         );
     }
 

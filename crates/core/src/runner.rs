@@ -9,8 +9,8 @@
 use std::sync::Arc;
 
 use treadmill_cluster::{
-    ClientSpec, ClusterBuilder, HardwareConfig, NetworkSpec, PacketCapture, RunResult,
-    ServerSpec,
+    ClientSpec, ClusterBuilder, FaultSpec, HardwareConfig, NetworkSpec, PacketCapture,
+    RetryPolicy, RunResult, ServerSpec,
 };
 use treadmill_sim_core::{SeedStream, SimDuration, SimTime};
 use treadmill_stats::LatencySummary;
@@ -50,6 +50,8 @@ pub struct LoadTest {
     warmup: SimDuration,
     aggregation: AggregationMethod,
     seed: u64,
+    fault_spec: FaultSpec,
+    retry_policy: RetryPolicy,
 }
 
 impl LoadTest {
@@ -70,6 +72,8 @@ impl LoadTest {
             warmup: SimDuration::from_millis(100),
             aggregation: AggregationMethod::Mean,
             seed: 0,
+            fault_spec: FaultSpec::default(),
+            retry_policy: RetryPolicy::default(),
         }
     }
 
@@ -134,6 +138,20 @@ impl LoadTest {
         self
     }
 
+    /// Configures fault injection (default: no faults; the run stays
+    /// bit-identical to a fault-free build).
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.fault_spec = spec;
+        self
+    }
+
+    /// Configures client-side timeouts / retries / hedging (default:
+    /// disabled).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = policy;
+        self
+    }
+
     /// The target throughput in requests per second.
     pub fn target_rps(&self) -> f64 {
         self.target_rps
@@ -148,13 +166,21 @@ impl LoadTest {
     /// hysteresis state — per the repeated-run procedure).
     pub fn run(&self, run_index: u64) -> LoadTestReport {
         let run_seed = SeedStream::new(self.seed).derive("run", run_index);
+        self.run_seeded(run_seed)
+    }
+
+    /// Executes a run with an explicit cluster seed (used by
+    /// [`LoadTest::run_robust`] to draw fresh re-run seeds).
+    fn run_seeded(&self, run_seed: u64) -> LoadTestReport {
         let per_client_rate = self.target_rps / self.clients as f64;
         let mut builder = ClusterBuilder::new(Arc::clone(&self.workload))
             .hardware(self.hardware)
             .server_spec(self.server_spec.clone())
             .network_spec(self.network_spec.clone())
             .seed(run_seed)
-            .duration(self.duration);
+            .duration(self.duration)
+            .faults(self.fault_spec)
+            .retry_policy(self.retry_policy);
         for _ in 0..self.clients {
             let mut spec = self.client_spec.clone();
             spec.connections = self.connections_per_client;
@@ -203,6 +229,98 @@ impl LoadTest {
     pub fn raw_latencies(&self, report: &LoadTestReport) -> Vec<Vec<f64>> {
         latencies_per_client(&report.run.client_records, SimTime::ZERO + self.warmup)
     }
+
+    /// Graceful degradation under faults: executes run `run_index` and,
+    /// if it lost more than `policy.max_loss_fraction` of its requests,
+    /// re-runs it with fresh seeds up to `policy.max_attempts` total
+    /// attempts. The returned outcome carries the accepted report plus
+    /// a [`RunDegradation`] note describing what happened; a run that
+    /// exhausts the budget is returned anyway with `flagged = true`
+    /// rather than panicking, so a factorial collection can continue
+    /// and account for the gap downstream.
+    pub fn run_robust(&self, run_index: u64, policy: &RerunPolicy) -> RobustRunOutcome {
+        assert!(policy.max_attempts > 0, "need at least one attempt");
+        let mut notes = Vec::new();
+        let mut attempt = 0u32;
+        loop {
+            let run_seed = if attempt == 0 {
+                SeedStream::new(self.seed).derive("run", run_index)
+            } else {
+                SeedStream::new(self.seed)
+                    .child("rerun", run_index)
+                    .derive("attempt", u64::from(attempt))
+            };
+            let report = self.run_seeded(run_seed);
+            let loss_fraction = report.run.loss_fraction();
+            let over_budget = loss_fraction > policy.max_loss_fraction;
+            attempt += 1;
+            if over_budget && attempt < policy.max_attempts {
+                notes.push(format!(
+                    "run {run_index} attempt {attempt} lost {:.2}% of requests \
+                     (> {:.2}% budget); re-running with a fresh seed",
+                    loss_fraction * 100.0,
+                    policy.max_loss_fraction * 100.0
+                ));
+                continue;
+            }
+            if over_budget {
+                notes.push(format!(
+                    "run {run_index} still lost {:.2}% of requests after \
+                     {attempt} attempts; accepting the degraded run",
+                    loss_fraction * 100.0
+                ));
+            }
+            return RobustRunOutcome {
+                report,
+                degradation: RunDegradation {
+                    attempts: attempt,
+                    loss_fraction,
+                    flagged: over_budget,
+                    notes,
+                },
+            };
+        }
+    }
+}
+
+/// Re-run budget for [`LoadTest::run_robust`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RerunPolicy {
+    /// Total attempts allowed per run (1 = never re-run).
+    pub max_attempts: u32,
+    /// Highest acceptable [`RunResult::loss_fraction`].
+    pub max_loss_fraction: f64,
+}
+
+impl Default for RerunPolicy {
+    fn default() -> Self {
+        RerunPolicy {
+            max_attempts: 3,
+            max_loss_fraction: 0.05,
+        }
+    }
+}
+
+/// What [`LoadTest::run_robust`] had to do to produce its report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunDegradation {
+    /// Attempts executed (1 = the first run was accepted).
+    pub attempts: u32,
+    /// Loss fraction of the accepted run.
+    pub loss_fraction: f64,
+    /// True if even the accepted run exceeded the loss budget.
+    pub flagged: bool,
+    /// Human-readable notes for the report.
+    pub notes: Vec<String>,
+}
+
+/// A report plus the degradation bookkeeping of the rerun loop.
+#[derive(Debug, Clone)]
+pub struct RobustRunOutcome {
+    /// The accepted run.
+    pub report: LoadTestReport,
+    /// How it was obtained.
+    pub degradation: RunDegradation,
 }
 
 /// Everything one load-test run produced.
@@ -236,6 +354,20 @@ impl LoadTestReport {
         let stop = self.run.sending_stopped_at;
         let expected = target_rps * stop.as_secs_f64();
         self.run.delivered_in_window as f64 / expected
+    }
+
+    /// Right-censored latencies (µs) of measurement-window requests the
+    /// tester abandoned — the lower bounds
+    /// [`crate::omission::correct_with_censored`] consumes alongside
+    /// [`LoadTestReport::pooled_latencies`].
+    pub fn censored_latencies(&self) -> Vec<f64> {
+        self.run.censored_latencies_us(SimTime::ZERO + self.warmup)
+    }
+
+    /// Fraction of settled requests that ended in failure over the
+    /// whole run (0.0 for a clean run).
+    pub fn loss_fraction(&self) -> f64 {
+        self.run.loss_fraction()
     }
 }
 

@@ -101,6 +101,18 @@ impl Dataset {
     pub fn total_samples(&self) -> usize {
         self.cells.iter().map(Cell::total_samples).sum()
     }
+
+    /// Indices (`0..16`) of hardware configurations with no collected
+    /// cell — the holes a degraded campaign leaves behind. Empty for a
+    /// complete full-factorial dataset.
+    pub fn missing_cells(&self) -> Vec<usize> {
+        (0..16)
+            .filter(|&i| {
+                let levels = HardwareConfig::from_index(i).levels();
+                !self.cells.iter().any(|c| c.levels == levels)
+            })
+            .collect()
+    }
 }
 
 /// Runs the full factorial collection.
@@ -293,6 +305,22 @@ mod tests {
         for &v in &sorted {
             assert!((0.0..20_000.0).contains(&v) && v.fract() == 0.0);
         }
+    }
+
+    #[test]
+    fn missing_cells_reports_holes() {
+        let cells = vec![Cell::new(
+            HardwareConfig::from_index(3).levels(),
+            vec![vec![1.0, 2.0]],
+        )];
+        let dataset = Dataset {
+            cells,
+            target_rps: 1.0,
+            workload_name: "partial".into(),
+        };
+        let missing = dataset.missing_cells();
+        assert_eq!(missing.len(), 15);
+        assert!(!missing.contains(&3));
     }
 
     #[test]

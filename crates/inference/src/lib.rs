@@ -40,7 +40,10 @@ pub mod reduced;
 pub mod screening;
 pub mod tuning;
 
-pub use attribution::{attribute, attribution_table, AttributionResult, TABLE_IV_PERCENTILES};
+pub use attribution::{
+    attribute, attribute_graceful, attribution_table, AttributionOutcome,
+    AttributionResult, TABLE_IV_PERCENTILES,
+};
 pub use dataset::{collect, CollectionPlan, Dataset};
 pub use factors::{factor_names, factor_table, Factor};
 pub use goodness::{goodness_sweep, model_pseudo_r_squared, GoodnessPoint};

@@ -53,6 +53,27 @@ fn load_test_run_zero_is_bit_stable() {
 }
 
 #[test]
+fn zero_fault_config_keeps_the_golden_bits() {
+    use treadmill::cluster::{FaultSpec, RetryPolicy};
+    // Configuring the fault layer with all-zero probabilities and a
+    // disabled retry policy must not perturb a single golden bit: the
+    // fault-off path schedules no events and draws no RNG.
+    let report = golden_test()
+        .faults(FaultSpec::default())
+        .retry_policy(RetryPolicy::default())
+        .run(0);
+    let agg = &report.aggregated;
+    assert_eq!(agg.p50.to_bits(), 0x404dd74f1448d80b);
+    assert_eq!(agg.p99.to_bits(), 0x4061dba25512ec6a);
+    assert_eq!(agg.max.to_bits(), 0x40768db645a1cac1);
+    assert_eq!(agg.count, 22_378);
+    assert_eq!(report.run.total_responses(), 29_839);
+    assert_eq!(report.run.events_executed, 298_547);
+    assert!(report.run.fault_summary.is_quiet());
+    assert_eq!(report.run.total_failures(), 0);
+}
+
+#[test]
 fn distinct_run_indices_stay_distinct() {
     let test = golden_test();
     let a = test.run(0);
