@@ -70,6 +70,7 @@ fn bench_engine(chains: u64, hops: u32) -> (u64, f64) {
     for i in 0..chains {
         engine.schedule(SimTime::from_nanos(i % 64), Hop { remaining: hops });
     }
+    // tml-lint: allow(DET002, bench harness measures real wall time around the deterministic engine run; the timing never feeds back into simulated state)
     let start = Instant::now();
     engine.run_to_completion();
     let wall = start.elapsed().as_secs_f64();
@@ -82,6 +83,7 @@ fn bench_single_run(seed: u64, duration_ms: u64) -> (usize, f64) {
         .duration(SimDuration::from_millis(duration_ms))
         .warmup(SimDuration::from_millis(duration_ms / 4))
         .seed(seed);
+    // tml-lint: allow(DET002, wall-clock timing of a seeded LoadTest::run; results go to BENCH_treadmill.json only)
     let start = Instant::now();
     let report = test.run(0);
     let wall = start.elapsed().as_secs_f64();
@@ -97,6 +99,7 @@ fn bench_collect(seed: u64, runs_per_config: usize, duration_ms: u64) -> (usize,
     plan.duration = SimDuration::from_millis(duration_ms);
     plan.warmup = SimDuration::from_millis(duration_ms / 4);
     plan.seed = seed;
+    // tml-lint: allow(DET002, wall-clock timing of the seeded factorial collect stage; informational perf numbers only)
     let start = Instant::now();
     let dataset = treadmill_inference::collect(&plan);
     let wall = start.elapsed().as_secs_f64();

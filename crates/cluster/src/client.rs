@@ -8,7 +8,7 @@
 //! does, and the resulting client-side queueing contaminates the
 //! latency it reports.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::SmallRng;
 
@@ -51,7 +51,11 @@ pub struct ClientMachine {
     /// Abandoned-request records (timeouts / resets), in failure order.
     pub failures: Vec<FailureRecord>,
     sent: u64,
-    pub(crate) in_flight: HashMap<RequestId, InFlight>,
+    /// Keyed by request id. A `BTreeMap` (not `HashMap`) so that any
+    /// future iteration over pending requests is seed-stable; robust
+    /// mode touches it per request, where the log-depth walk on a
+    /// handful of in-flight entries is noise next to the queue model.
+    pub(crate) in_flight: BTreeMap<RequestId, InFlight>,
     pub(crate) retries_sent: u64,
     pub(crate) hedges_sent: u64,
     pub(crate) timeouts: u64,
@@ -69,7 +73,7 @@ impl ClientMachine {
             records: Vec::new(),
             failures: Vec::new(),
             sent: 0,
-            in_flight: HashMap::new(),
+            in_flight: BTreeMap::new(),
             retries_sent: 0,
             hedges_sent: 0,
             timeouts: 0,

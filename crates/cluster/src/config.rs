@@ -263,6 +263,8 @@ impl ServerSpec {
     /// # Panics
     ///
     /// Panics if `core` is out of range.
+    // Socket index fits u8: sockets is itself a u8.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn socket_of(&self, core: usize) -> u8 {
         assert!(core < self.total_cores(), "core {core} out of range");
         (core / usize::from(self.cores_per_socket)) as u8

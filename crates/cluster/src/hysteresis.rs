@@ -50,6 +50,9 @@ impl RunState {
     /// # Panics
     ///
     /// Panics if `connections_per_client` is empty or any entry is zero.
+    // Core counts are bounded by ServerSpec's u8 fields, so the
+    // core-id casts below cannot truncate.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn generate<R: Rng + ?Sized>(
         spec: &ServerSpec,
         hw: HardwareConfig,
@@ -169,7 +172,7 @@ mod tests {
         let spec = ServerSpec::default();
         let mut rng = SmallRng::seed_from_u64(1);
         let state = RunState::generate(&spec, HardwareConfig::default(), &[32], &mut rng);
-        let used: std::collections::HashSet<u8> =
+        let used: std::collections::BTreeSet<u8> =
             (0..32).map(|c| state.connection(0, c).worker_core).collect();
         assert_eq!(used.len(), 16, "32 conns round-robin over 16 cores");
     }

@@ -38,6 +38,8 @@ pub struct FrequencyEvent {
 
 impl Server {
     /// Builds a cold server in the given hardware configuration.
+    // Core ids fit u8: ServerSpec bounds cores with u8 fields.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn new(spec: ServerSpec, hw: HardwareConfig) -> Self {
         let initial_freq = match hw.dvfs {
             // performance: start at the max available frequency.
@@ -156,6 +158,8 @@ impl Server {
     /// frequency from its window utilisation, inserting a transition
     /// stall on cores whose frequency changed. Returns the ids of cores
     /// that received a stall (the caller must poke their run loops).
+    // Core ids fit u8: ServerSpec bounds cores with u8 fields.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn governor_tick(&mut self, now: SimTime) -> Vec<usize> {
         let max_avail = self.thermal.available_ghz();
         let mut stalled = Vec::new();
@@ -297,7 +301,7 @@ mod tests {
     #[test]
     fn rss_all_nodes_spreads_sockets() {
         let server = Server::new(ServerSpec::default(), hw(false, false, false, true));
-        let sockets: std::collections::HashSet<u8> =
+        let sockets: std::collections::BTreeSet<u8> =
             (0..16).map(|q| server.cores[server.rss_core(q)].socket).collect();
         assert_eq!(sockets.len(), 2);
     }

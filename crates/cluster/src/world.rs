@@ -160,6 +160,9 @@ impl ClusterWorld {
         self.outstanding
     }
 
+    // Client indices fit u32: cluster configs top out at a handful of
+    // load-generator clients.
+    #[allow(clippy::cast_possible_truncation)]
     fn collect_start_orders(&mut self, now: SimTime) -> Vec<(u32, SendOrder)> {
         let mut orders = Vec::new();
         for (i, client) in self.clients.iter_mut().enumerate() {

@@ -303,7 +303,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(4);
         let start = src.start(SimTime::ZERO, &mut rng);
         assert_eq!(start.len(), 12);
-        let conns: std::collections::HashSet<u32> =
+        let conns: std::collections::BTreeSet<u32> =
             start.iter().map(|o| o.conn).collect();
         assert_eq!(conns.len(), 12, "one initial send per connection");
     }

@@ -44,6 +44,9 @@ impl TimelineWindow {
 /// let windows = timeline(&[], SimDuration::from_millis(10));
 /// assert!(windows.is_empty());
 /// ```
+// Window counts (horizon / window width) fit usize on the 64-bit
+// targets the simulator supports.
+#[allow(clippy::cast_possible_truncation)]
 pub fn timeline(records: &[ResponseRecord], window: SimDuration) -> Vec<TimelineWindow> {
     assert!(!window.is_zero(), "zero-length window");
     if records.is_empty() {

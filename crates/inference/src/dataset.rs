@@ -8,6 +8,7 @@
 //! experiments comes from disjoint seed streams, and experiments run in
 //! parallel across OS threads.
 
+// tml-lint: allow(DET001, subsample() uses the map for keyed displaced-index lookups only; see justification at the construction site)
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -210,6 +211,7 @@ fn subsample<R: Rng>(values: &[f64], n: usize, mut rng: R) -> Vec<f64> {
     if values.len() <= n {
         return values.to_vec();
     }
+    // tml-lint: allow(DET001, every access is a keyed get/insert driven by seeded RNG draws; the map is never iterated so its order cannot reach the output — the golden-seed tests pin the exact draw, and a BTreeMap here would put an O(log n) walk in the O(k) subsampler hot path)
     let mut displaced: HashMap<usize, usize> = HashMap::with_capacity(2 * n);
     let mut out = Vec::with_capacity(n);
     for i in 0..n {

@@ -64,6 +64,8 @@ pub fn goodness_sweep(
 
 /// Sanity helper used by tests and the Figure 11 binary: the index a
 /// level vector denotes.
+// Design levels are exactly 0.0 or 1.0, so `v as usize` is a bit read.
+#[allow(clippy::cast_possible_truncation)]
 pub fn config_index_of_levels(levels: &[f64]) -> usize {
     levels
         .iter()

@@ -1,0 +1,31 @@
+// Fixture for DET001: hash collections in deterministic crates.
+// Deliberate violations — this directory is excluded from workspace
+// scans and from compilation; only the fixture tests read it.
+use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+fn positive_construction() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    drop(m);
+}
+
+fn negative_ordered() {
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    drop(m);
+}
+
+fn suppressed_set(bits: u8) -> usize {
+    // tml-lint: allow(DET001, fixture: keyed membership only; order never escapes)
+    let s: std::collections::HashSet<u8> = [bits].into_iter().collect();
+    s.len()
+}
+
+fn negative_in_string() -> &'static str {
+    "HashMap and HashSet in a string literal must not fire"
+}
+
+fn negative_identifier_boundary() {
+    // Identifier *containing* the pattern must not fire.
+    let my_hash_map_like = 0;
+    let _ = my_hash_map_like;
+}

@@ -1,0 +1,25 @@
+// Fixture for DET002: wall-clock reads in simulated code.
+use std::time::Instant;
+
+fn positive_instant() -> Instant {
+    Instant::now()
+}
+
+fn positive_system_time() -> u64 {
+    let _t = std::time::SystemTime::now();
+    0
+}
+
+fn suppressed_instant() -> Instant {
+    // tml-lint: allow(DET002, fixture: harness timing that never feeds simulated state)
+    Instant::now()
+}
+
+fn negative_sim_clock(now: u64) -> u64 {
+    // Simulated time threaded as a value is the sanctioned pattern.
+    now + 17
+}
+
+fn negative_in_string() -> &'static str {
+    "Instant::now() and SystemTime in a string must not fire"
+}

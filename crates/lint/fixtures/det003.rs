@@ -1,0 +1,32 @@
+// Fixture for DET003: unseeded RNG.
+fn positive_thread_rng() {
+    let mut rng = rand::thread_rng();
+    let _ = &mut rng;
+}
+
+fn positive_from_entropy() {
+    let rng = SmallRng::from_entropy();
+    let _ = rng;
+}
+
+fn positive_os_rng() {
+    let mut rng = rand::rngs::OsRng;
+    let _ = &mut rng;
+}
+
+fn suppressed_entropy() {
+    // tml-lint: allow(DET003, fixture: entropy deliberately outside the replayed region)
+    let rng = SmallRng::from_entropy();
+    let _ = rng;
+}
+
+fn negative_seeded(seed: u64) {
+    let rng = SmallRng::seed_from_u64(seed);
+    let _ = rng;
+}
+
+fn negative_derived(parent: &mut SmallRng) {
+    // from_rng on a seeded parent stream is deterministic and fine.
+    let child = SmallRng::from_rng(parent);
+    let _ = child;
+}

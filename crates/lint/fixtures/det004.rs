@@ -1,0 +1,30 @@
+// Fixture for DET004: float ordering hazards.
+fn positive_sort_comparator(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn positive_bare_comparator(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap()
+}
+
+fn positive_float_key() {
+    let m: BTreeMap<f64, u32> = BTreeMap::new();
+    let _ = m;
+}
+
+fn suppressed_sort(v: &mut [f64]) {
+    // tml-lint: allow(DET004, fixture: inputs proven NaN-free by construction upstream)
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+fn negative_total_cmp(v: &mut [f64]) {
+    v.sort_by(f64::total_cmp);
+}
+
+fn negative_int_sort(v: &mut [u64]) {
+    v.sort_by(|a, b| a.cmp(b));
+}
+
+fn negative_partial_cmp_handled(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal)
+}

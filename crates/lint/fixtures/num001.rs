@@ -1,0 +1,35 @@
+// Fixture for NUM001: narrowing casts on sim-time/queue-depth values.
+fn positive_time_cast(t_nanos: u64) -> u32 {
+    t_nanos as u32
+}
+
+fn positive_depth_cast(queue_depth: usize) -> u16 {
+    queue_depth as u16
+}
+
+fn suppressed_depth(depth: usize) -> u8 {
+    // tml-lint: allow(NUM001, fixture: depth bounded by config at 255)
+    depth as u8
+}
+
+fn negative_widening(t_nanos: u32) -> u64 {
+    u64::from(t_nanos)
+}
+
+fn negative_unrelated_cast(core_index: usize) -> u8 {
+    // Narrowing, but not a sim-time/queue-depth quantity.
+    core_index as u8
+}
+
+fn negative_try_from(queue_depth: usize) -> Option<u16> {
+    u16::try_from(queue_depth).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn negative_tests_exempt() {
+        let t_nanos: u64 = 5;
+        assert_eq!(t_nanos as u32, 5);
+    }
+}

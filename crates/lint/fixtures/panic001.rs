@@ -1,0 +1,38 @@
+// Fixture for PANIC001: panics in non-test library code.
+fn positive_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn positive_expect(x: Option<u32>) -> u32 {
+    x.expect("fixture invariant")
+}
+
+fn positive_panic(flag: bool) {
+    if flag {
+        panic!("fixture abort");
+    }
+}
+
+fn suppressed_unwrap(x: Option<u32>) -> u32 {
+    // tml-lint: allow(PANIC001, fixture: checked invariant documented at the call site)
+    x.unwrap()
+}
+
+fn negative_unwrap_or(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+fn negative_unwrap_or_default(x: Option<u32>) -> u32 {
+    x.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn negative_test_code_may_unwrap() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        let y: Result<u32, ()> = Ok(2);
+        y.expect("tests are exempt");
+    }
+}

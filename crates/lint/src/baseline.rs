@@ -1,0 +1,111 @@
+//! The checked-in baseline (`lint-baseline.toml`) and its ratchet.
+//!
+//! The baseline records *exactly* how much grandfathered debt exists:
+//! per-crate PANIC001 budgets and per-`RULE:file` grandfathered counts
+//! for the deterministic rules. `--check` enforces an exact match in
+//! both directions — more findings than budgeted fails (new debt), and
+//! fewer findings than budgeted also fails with the number to write
+//! (the ratchet: once debt is paid down, the baseline must shrink to
+//! match and can never grow back).
+//!
+//! The file is parsed with a deliberately tiny TOML-subset reader
+//! (sections, `"key" = integer`, comments) so the lint gate stays
+//! dependency-free.
+
+use std::collections::BTreeMap;
+
+/// Parsed baseline. Missing entries mean a budget of zero.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    /// `[panic-budget]`: crate name → allowed PANIC001 sites in
+    /// non-test library code.
+    pub panic_budget: BTreeMap<String, usize>,
+    /// `[grandfathered]`: `"RULE:path"` → allowed findings of that rule
+    /// in that file.
+    pub grandfathered: BTreeMap<String, usize>,
+}
+
+/// Parses the TOML subset used by `lint-baseline.toml`.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let mut baseline = Baseline::default();
+    let mut section = String::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = match raw.split_once('#') {
+            // A `#` inside a quoted key is part of the key, not a
+            // comment; keys here never contain `#`, so plain split is
+            // safe for this subset.
+            Some((before, _)) if !before.contains('"') || before.matches('"').count() % 2 == 0 => {
+                before.trim()
+            }
+            _ => raw.trim(),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            section = name.trim().to_string();
+            if section != "panic-budget" && section != "grandfathered" {
+                return Err(format!("line {lineno}: unknown section [{section}]"));
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = value`"));
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        let value: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("line {lineno}: value must be a non-negative integer"))?;
+        match section.as_str() {
+            "panic-budget" => {
+                baseline.panic_budget.insert(key, value);
+            }
+            "grandfathered" => {
+                baseline.grandfathered.insert(key, value);
+            }
+            _ => return Err(format!("line {lineno}: entry outside a section")),
+        }
+    }
+    Ok(baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_comments_and_quoted_keys() {
+        let text = "\
+# tml-lint baseline
+[panic-budget]
+\"treadmill-stats\" = 12  # solver invariants
+treadmill-core = 3
+
+[grandfathered]
+\"DET002:crates/bench/src/bin/perf_smoke.rs\" = 3
+";
+        let b = parse(text).expect("parses");
+        assert_eq!(b.panic_budget.get("treadmill-stats"), Some(&12));
+        assert_eq!(b.panic_budget.get("treadmill-core"), Some(&3));
+        assert_eq!(
+            b.grandfathered
+                .get("DET002:crates/bench/src/bin/perf_smoke.rs"),
+            Some(&3)
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_bad_values() {
+        assert!(parse("[mystery]\n").is_err());
+        assert!(parse("[panic-budget]\nx = -1\n").is_err());
+        assert!(parse("[panic-budget]\nno-equals\n").is_err());
+    }
+
+    #[test]
+    fn empty_file_is_empty_baseline() {
+        let b = parse("").expect("empty ok");
+        assert!(b.panic_budget.is_empty() && b.grandfathered.is_empty());
+    }
+}

@@ -1,0 +1,293 @@
+//! `treadmill-lint` — static determinism & soundness analysis for the
+//! Treadmill workspace.
+//!
+//! The simulator's statistical attribution rests on an invariant the
+//! type system cannot see: every seeded run must replay *bit-identically*
+//! (golden-seed tests compare full latency vectors). The classic ways
+//! to silently break that — randomized `HashMap` iteration order,
+//! wall-clock reads, unseeded RNG, NaN-unsafe float comparators — all
+//! have an unmistakable lexical signature, so this crate implements a
+//! dependency-free scanner (no `syn` in the vendored registry) plus a
+//! small rule registry, and turns nondeterminism from a postmortem
+//! (a golden test failing two PRs later) into a compile-gate.
+//!
+//! See `DESIGN.md` § "Static analysis & determinism guarantees" for the
+//! rule table, suppression syntax, and the baseline ratchet policy.
+
+pub mod baseline;
+pub mod rules;
+pub mod scan;
+pub mod walk;
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use baseline::Baseline;
+use rules::{check_file, FileReport, Finding};
+
+/// Full result of a workspace analysis run.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Unsuppressed, unbudgeted findings — these fail `--check`.
+    pub failures: Vec<Finding>,
+    /// Findings covered by the baseline (grandfathered debt).
+    pub budgeted: Vec<Finding>,
+    /// Count of findings silenced by valid allow comments.
+    pub suppressed: usize,
+    /// Baseline/actual mismatches. The ratchet is exact-match: debt
+    /// above budget fails (new violations), debt below budget fails
+    /// too (the baseline must be shrunk to the new count).
+    pub ratchet_errors: Vec<String>,
+    pub files_scanned: usize,
+}
+
+impl Analysis {
+    /// True when `--check` should exit non-zero.
+    pub fn is_failure(&self) -> bool {
+        !self.failures.is_empty() || !self.ratchet_errors.is_empty()
+    }
+}
+
+/// Maps a workspace-relative path to its crate's package name.
+pub fn crate_name(path: &str) -> String {
+    match path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+    {
+        Some(dir) => format!("treadmill-{dir}"),
+        None => "treadmill".to_string(),
+    }
+}
+
+/// Analyses one in-memory file (the fixture-test entry point).
+pub fn analyze_source(rel_path: &str, source: &str) -> FileReport {
+    check_file(rel_path, &scan::scan(source))
+}
+
+/// Walks the workspace at `root`, applies every rule, and reconciles
+/// the outcome against `baseline`.
+pub fn analyze_workspace(root: &Path, baseline: &Baseline) -> io::Result<Analysis> {
+    let mut analysis = Analysis::default();
+    let mut raw: Vec<Finding> = Vec::new();
+    for rel in walk::rust_files(root)? {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        let report = analyze_source(&rel, &source);
+        analysis.suppressed += report.suppressed;
+        raw.extend(report.findings);
+        analysis.files_scanned += 1;
+    }
+    reconcile(&mut analysis, raw, baseline);
+    Ok(analysis)
+}
+
+/// Splits raw findings into failures vs baseline-covered debt and
+/// emits ratchet errors for every exact-match violation.
+fn reconcile(analysis: &mut Analysis, raw: Vec<Finding>, baseline: &Baseline) {
+    let mut panic_counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut grand_counts: BTreeMap<String, usize> = BTreeMap::new();
+
+    for finding in raw {
+        match finding.rule.as_str() {
+            "PANIC001" => {
+                let krate = crate_name(&finding.file);
+                let n = panic_counts.entry(krate.clone()).or_insert(0);
+                *n += 1;
+                let budget = baseline.panic_budget.get(&krate).copied().unwrap_or(0);
+                if *n <= budget {
+                    analysis.budgeted.push(finding);
+                } else {
+                    analysis.failures.push(finding);
+                }
+            }
+            "LINT000" => analysis.failures.push(finding),
+            _ => {
+                let key = format!("{}:{}", finding.rule, finding.file);
+                let n = grand_counts.entry(key.clone()).or_insert(0);
+                *n += 1;
+                let allowance = baseline.grandfathered.get(&key).copied().unwrap_or(0);
+                if *n <= allowance {
+                    analysis.budgeted.push(finding);
+                } else {
+                    analysis.failures.push(finding);
+                }
+            }
+        }
+    }
+
+    for (krate, budget) in &baseline.panic_budget {
+        let actual = panic_counts.get(krate).copied().unwrap_or(0);
+        if actual < *budget {
+            analysis.ratchet_errors.push(format!(
+                "panic-budget for {krate} is {budget} but only {actual} PANIC001 site(s) \
+                 remain — the baseline may only shrink: set \"{krate}\" = {actual} \
+                 (or delete the entry if 0)"
+            ));
+        }
+    }
+    for (key, allowance) in &baseline.grandfathered {
+        let actual = grand_counts.get(key).copied().unwrap_or(0);
+        if actual < *allowance {
+            analysis.ratchet_errors.push(format!(
+                "grandfathered \"{key}\" = {allowance} but only {actual} finding(s) \
+                 remain — the baseline may only shrink: set it to {actual} \
+                 (or delete the entry if 0)"
+            ));
+        }
+    }
+}
+
+/// Serialises the analysis as stable machine-readable JSON.
+pub fn to_json(analysis: &Analysis) -> String {
+    let mut out = String::from("{");
+    push_kv(&mut out, "files_scanned", &analysis.files_scanned.to_string());
+    out.push_str(",\"failures\":");
+    findings_json(&mut out, &analysis.failures);
+    out.push_str(",\"budgeted\":");
+    findings_json(&mut out, &analysis.budgeted);
+    out.push(',');
+    push_kv(&mut out, "suppressed", &analysis.suppressed.to_string());
+    out.push_str(",\"ratchet_errors\":[");
+    for (i, e) in analysis.ratchet_errors.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(&mut out, e);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn findings_json(out: &mut String, findings: &[Finding]) {
+    out.push('[');
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"rule\":");
+        push_json_string(out, &f.rule);
+        out.push_str(",\"file\":");
+        push_json_string(out, &f.file);
+        out.push_str(",\"line\":");
+        out.push_str(&f.line.to_string());
+        out.push_str(",\"message\":");
+        push_json_string(out, &f.message);
+        out.push_str(",\"hint\":");
+        push_json_string(out, &f.hint);
+        out.push('}');
+    }
+    out.push(']');
+}
+
+fn push_kv(out: &mut String, key: &str, raw_value: &str) {
+    push_json_string(out, key);
+    out.push(':');
+    out.push_str(raw_value);
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str("\\u");
+                let code = c as u32;
+                for shift in [12u32, 8, 4, 0] {
+                    let digit = (code >> shift) & 0xf;
+                    out.push(char::from_digit(digit, 16).unwrap_or('0'));
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rules::Finding;
+
+    fn finding(rule: &str, file: &str) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line: 1,
+            message: "m".to_string(),
+            hint: "h".to_string(),
+        }
+    }
+
+    #[test]
+    fn crate_names() {
+        assert_eq!(crate_name("crates/sim-core/src/rng.rs"), "treadmill-sim-core");
+        assert_eq!(crate_name("src/lib.rs"), "treadmill");
+        assert_eq!(crate_name("tests/golden_seed.rs"), "treadmill");
+    }
+
+    #[test]
+    fn panic_budget_exact_match() {
+        let mut baseline = Baseline::default();
+        baseline
+            .panic_budget
+            .insert("treadmill-stats".to_string(), 2);
+
+        // Exactly on budget: all budgeted, no ratchet errors.
+        let mut a = Analysis::default();
+        let two = vec![
+            finding("PANIC001", "crates/stats/src/a.rs"),
+            finding("PANIC001", "crates/stats/src/b.rs"),
+        ];
+        reconcile(&mut a, two.clone(), &baseline);
+        assert_eq!((a.failures.len(), a.budgeted.len()), (0, 2));
+        assert!(!a.is_failure());
+
+        // Over budget: the overflow fails.
+        let mut a = Analysis::default();
+        let mut three = two.clone();
+        three.push(finding("PANIC001", "crates/stats/src/c.rs"));
+        reconcile(&mut a, three, &baseline);
+        assert_eq!((a.failures.len(), a.budgeted.len()), (1, 2));
+        assert!(a.is_failure());
+
+        // Under budget: ratchet error tells the new number to write.
+        let mut a = Analysis::default();
+        reconcile(&mut a, two[..1].to_vec(), &baseline);
+        assert!(a.failures.is_empty());
+        assert_eq!(a.ratchet_errors.len(), 1, "{:?}", a.ratchet_errors);
+        assert!(a.is_failure());
+    }
+
+    #[test]
+    fn grandfathered_and_stale_entries() {
+        let mut baseline = Baseline::default();
+        baseline
+            .grandfathered
+            .insert("DET002:crates/x/src/y.rs".to_string(), 1);
+        let mut a = Analysis::default();
+        reconcile(
+            &mut a,
+            vec![finding("DET002", "crates/x/src/y.rs")],
+            &baseline,
+        );
+        assert!(!a.is_failure());
+
+        // Entry with zero remaining findings must be removed.
+        let mut a = Analysis::default();
+        reconcile(&mut a, Vec::new(), &baseline);
+        assert_eq!(a.ratchet_errors.len(), 1);
+    }
+
+    #[test]
+    fn json_escapes() {
+        let mut a = Analysis::default();
+        a.failures.push(finding("DET001", "a\"b\\c.rs"));
+        let json = to_json(&a);
+        assert!(json.contains("a\\\"b\\\\c.rs"), "{json}");
+    }
+}

@@ -1,0 +1,169 @@
+//! `tml-lint` — CLI for the workspace determinism & soundness analyzer.
+//!
+//! ```text
+//! tml-lint [--check] [--json] [--baseline PATH] [--root PATH] [--list-rules]
+//! ```
+//!
+//! Default mode prints a human report and always exits 0 (informational).
+//! `--check` is the CI gate: exit 1 on any unsuppressed finding or any
+//! baseline ratchet violation, 2 on usage/IO errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use treadmill_lint::{analyze_workspace, baseline, rules, to_json};
+
+struct Options {
+    check: bool,
+    json: bool,
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    list_rules: bool,
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("tml-lint: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in rules::RULES {
+            println!("{}  {}", rule.id, compact(rule.summary));
+            println!("        fix: {}", compact(rule.hint));
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match opts.root.clone().or_else(find_workspace_root) {
+        Some(root) => root,
+        None => {
+            eprintln!("tml-lint: could not locate a workspace root (no Cargo.toml with [workspace] above the current directory); pass --root");
+            return ExitCode::from(2);
+        }
+    };
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("lint-baseline.toml"));
+    let baseline = if baseline_path.exists() {
+        match std::fs::read_to_string(&baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| baseline::parse(&text))
+        {
+            Ok(b) => b,
+            Err(msg) => {
+                eprintln!("tml-lint: bad baseline {}: {msg}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else if opts.baseline.is_some() {
+        eprintln!("tml-lint: baseline {} not found", baseline_path.display());
+        return ExitCode::from(2);
+    } else {
+        baseline::Baseline::default()
+    };
+
+    let analysis = match analyze_workspace(&root, &baseline) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("tml-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.json {
+        println!("{}", to_json(&analysis));
+    } else {
+        for f in &analysis.failures {
+            println!("FAIL {} {}:{} — {}", f.rule, f.file, f.line, f.message);
+            println!("     fix: {}", f.hint);
+        }
+        for e in &analysis.ratchet_errors {
+            println!("RATCHET {e}");
+        }
+        println!(
+            "tml-lint: {} file(s) scanned — {} failure(s), {} budgeted, {} suppressed, {} ratchet error(s)",
+            analysis.files_scanned,
+            analysis.failures.len(),
+            analysis.budgeted.len(),
+            analysis.suppressed,
+            analysis.ratchet_errors.len(),
+        );
+    }
+
+    if opts.check && analysis.is_failure() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+const USAGE: &str = "\
+usage: tml-lint [--check] [--json] [--baseline PATH] [--root PATH] [--list-rules]
+  --check           CI gate: exit 1 on unsuppressed findings or ratchet violations
+  --json            machine-readable output
+  --baseline PATH   baseline file (default: <root>/lint-baseline.toml when present)
+  --root PATH       workspace root (default: nearest ancestor with [workspace])
+  --list-rules      print the rule registry and exit";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        check: false,
+        json: false,
+        root: None,
+        baseline: None,
+        list_rules: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => opts.check = true,
+            "--json" => opts.json = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => {
+                opts.root = Some(PathBuf::from(
+                    args.next().ok_or("--root requires a path")?,
+                ));
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(
+                    args.next().ok_or("--baseline requires a path")?,
+                ));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn compact(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}

@@ -1,0 +1,47 @@
+//! Deterministic workspace file discovery.
+//!
+//! The linter must itself be deterministic: directory entries are
+//! sorted by name at every level so findings always appear in the same
+//! order regardless of filesystem enumeration order.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into: build output, vendored shims,
+/// VCS metadata, generated results, and the linter's own deliberately
+/// violating rule fixtures.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", ".github", "results", "fixtures"];
+
+/// Returns every `.rs` file under `root` (workspace-relative paths,
+/// unix separators, sorted), skipping [`SKIP_DIRS`].
+pub fn rust_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}

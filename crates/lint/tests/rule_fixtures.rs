@@ -1,0 +1,80 @@
+//! Per-rule fixture tests: every rule must flag its deliberate
+//! positives at the exact lines, stay silent on the negatives, and
+//! honor a justified suppression.
+
+use treadmill_lint::analyze_source;
+
+/// Path that puts a fixture in scope for the determinism rules.
+const DET_PATH: &str = "crates/cluster/src/fixture.rs";
+/// Path outside the deterministic-crate set.
+const NON_DET_PATH: &str = "crates/stats/src/fixture.rs";
+
+fn lines_for(rule: &str, path: &str, src: &str) -> Vec<usize> {
+    analyze_source(path, src)
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+fn assert_fixture(rule: &str, path: &str, src: &str, expect_lines: &[usize]) {
+    let report = analyze_source(path, src);
+    let got: Vec<usize> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect();
+    assert_eq!(got, expect_lines, "{rule} positives in {path}");
+    // Rules compose: a fixture line may legitimately trip other rules
+    // too (e.g. DET004's `.unwrap()` comparators also count toward
+    // PANIC001), so only the target rule's findings are pinned here.
+    assert_eq!(report.suppressed, 1, "{rule} suppressed count");
+}
+
+#[test]
+fn det001_hash_collections() {
+    let src = include_str!("../fixtures/det001.rs");
+    assert_fixture("DET001", DET_PATH, src, &[4, 8]);
+    // Out of scope: hash collections are fine in non-deterministic
+    // crates (the suppression there is simply unused).
+    assert!(lines_for("DET001", NON_DET_PATH, src).is_empty());
+}
+
+#[test]
+fn det002_wall_clock() {
+    let src = include_str!("../fixtures/det002.rs");
+    assert_fixture("DET002", DET_PATH, src, &[5, 9]);
+    // DET002 applies outside the deterministic set too.
+    assert_eq!(lines_for("DET002", NON_DET_PATH, src), vec![5, 9]);
+}
+
+#[test]
+fn det003_unseeded_rng() {
+    let src = include_str!("../fixtures/det003.rs");
+    assert_fixture("DET003", DET_PATH, src, &[3, 8, 13]);
+}
+
+#[test]
+fn det004_float_ordering() {
+    let src = include_str!("../fixtures/det004.rs");
+    assert_fixture("DET004", DET_PATH, src, &[3, 7, 11]);
+}
+
+#[test]
+fn panic001_library_panics() {
+    let src = include_str!("../fixtures/panic001.rs");
+    assert_fixture("PANIC001", NON_DET_PATH, src, &[3, 7, 12]);
+    // Bins and integration tests are not library code.
+    assert!(lines_for("PANIC001", "crates/stats/src/bin/tool.rs", src).is_empty());
+    assert!(lines_for("PANIC001", "tests/integration.rs", src).is_empty());
+}
+
+#[test]
+fn num001_narrowing_casts() {
+    let src = include_str!("../fixtures/num001.rs");
+    assert_fixture("NUM001", DET_PATH, src, &[3, 7]);
+    // NUM001 is scoped to the deterministic crates.
+    assert!(lines_for("NUM001", NON_DET_PATH, src).is_empty());
+}

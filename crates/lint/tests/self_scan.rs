@@ -1,0 +1,44 @@
+//! Workspace self-scan: the repository itself must be clean.
+//!
+//! This is the same gate CI runs (`tml-lint --check`): any unsuppressed
+//! finding, malformed suppression, or baseline ratchet mismatch
+//! anywhere in the workspace fails this test. It is what makes
+//! nondeterminism a merge blocker instead of a golden-test postmortem.
+
+use std::path::Path;
+
+use treadmill_lint::{analyze_workspace, baseline};
+
+#[test]
+fn workspace_has_no_unsuppressed_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let baseline_text = std::fs::read_to_string(root.join("lint-baseline.toml"))
+        .expect("lint-baseline.toml is checked in at the workspace root");
+    let baseline = baseline::parse(&baseline_text).expect("baseline parses");
+
+    let analysis = analyze_workspace(&root, &baseline).expect("scan succeeds");
+
+    assert!(
+        analysis.files_scanned > 100,
+        "suspiciously few files scanned ({}) — walker broken?",
+        analysis.files_scanned
+    );
+    assert!(
+        analysis.failures.is_empty(),
+        "unsuppressed findings:\n{}",
+        analysis
+            .failures
+            .iter()
+            .map(|f| format!("  {} {}:{} — {}", f.rule, f.file, f.line, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        analysis.ratchet_errors.is_empty(),
+        "baseline ratchet violations:\n  {}",
+        analysis.ratchet_errors.join("\n  ")
+    );
+}

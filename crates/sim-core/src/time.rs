@@ -128,6 +128,8 @@ impl SimDuration {
 
     /// Creates a duration from fractional microseconds, rounding to the
     /// nearest nanosecond. Negative inputs clamp to zero.
+    // Rounded non-negative nanos fit u64 for any realistic duration.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn from_micros_f64(micros: f64) -> Self {
         if micros <= 0.0 {
             return SimDuration::ZERO;
@@ -137,6 +139,8 @@ impl SimDuration {
 
     /// Creates a duration from fractional nanoseconds, rounding to the
     /// nearest nanosecond. Negative inputs clamp to zero.
+    // Rounded non-negative nanos fit u64 for any realistic duration.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn from_nanos_f64(nanos: f64) -> Self {
         if nanos <= 0.0 {
             return SimDuration::ZERO;
@@ -166,6 +170,8 @@ impl SimDuration {
 
     /// Scales the duration by a non-negative float, rounding to the
     /// nearest nanosecond.
+    // Rounded non-negative nanos fit u64 for any realistic duration.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn mul_f64(self, factor: f64) -> Self {
         debug_assert!(factor >= 0.0, "durations cannot be negative");
         SimDuration((self.0 as f64 * factor).round() as u64)

@@ -71,6 +71,9 @@ pub fn mean_confidence_interval(stats: &StreamingStats, level: f64) -> Confidenc
 ///
 /// Panics if `sorted` is empty, `p` outside `(0, 1)`, or `level` outside
 /// `(0, 1)`.
+// Rank arithmetic truncates deliberately: ranks are clamped into
+// [0, n-1] right after the cast.
+#[allow(clippy::cast_possible_truncation)]
 pub fn quantile_confidence_interval(
     sorted: &[f64],
     p: f64,

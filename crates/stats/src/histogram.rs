@@ -155,6 +155,9 @@ impl AdaptiveHistogram {
         }
     }
 
+    // Bin indices truncate toward zero on purpose and are clamped to
+    // the last bin right after the cast.
+    #[allow(clippy::cast_possible_truncation)]
     fn bin_sample(&mut self, value: f64) {
         if value < self.lower {
             self.underflow += 1;
@@ -171,6 +174,8 @@ impl AdaptiveHistogram {
     }
 
     /// Doubles the bin range and redistributes existing mass.
+    // Redistribution indices truncate and clamp like bin_sample's.
+    #[allow(clippy::cast_possible_truncation)]
     fn rebin(&mut self) {
         let old_counts = std::mem::take(&mut self.counts);
         let old_lower = self.lower;
@@ -386,6 +391,8 @@ impl StaticHistogram {
 
     /// Records one sample, clamping out-of-range values into the edge
     /// bins (the flaw under study).
+    // In-range bin indices truncate and clamp deliberately.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn record(&mut self, value: f64) {
         self.total += 1;
         let width = (self.upper - self.lower) / self.counts.len() as f64;

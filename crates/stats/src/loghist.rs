@@ -43,6 +43,9 @@ impl LogHistogram {
     ///
     /// Panics if `min <= 0`, `max <= min`, or `precision` outside
     /// `(0, 1)`.
+    // Bucket count comes from a ceil()ed log ratio of validated
+    // positive bounds; truncation to usize is the intent.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn new(min: f64, max: f64, precision: f64) -> Self {
         assert!(min > 0.0, "log histogram needs a positive minimum");
         assert!(max > min, "max must exceed min");
@@ -62,6 +65,9 @@ impl LogHistogram {
         }
     }
 
+    // Log-bucket index truncates toward zero; out-of-range indices are
+    // rejected by the bounds check below.
+    #[allow(clippy::cast_possible_truncation)]
     fn bucket_of(&self, value: f64) -> Option<usize> {
         if value < self.min {
             return None;

@@ -21,6 +21,8 @@
 /// assert_eq!(quantile_of_sorted(&data, 0.5), 25.0);
 /// assert_eq!(quantile_of_sorted(&data, 1.0), 40.0);
 /// ```
+// floor/ceil of `p * (n-1)` fit in usize by construction (p ≤ 1).
+#[allow(clippy::cast_possible_truncation)]
 pub fn quantile_of_sorted(sorted: &[f64], p: f64) -> f64 {
     assert!(!sorted.is_empty(), "quantile of empty sample");
     assert!((0.0..=1.0).contains(&p), "quantile probability {p} outside [0, 1]");

@@ -40,6 +40,10 @@ impl ZipfSampler {
         sampler
     }
 
+    // Table sizes are capped at 1e6 so the u64→usize casts cannot
+    // truncate; `exponent != 1.0` is an exact sentinel (the harmonic
+    // closed form divides by 1 - s), not a tolerance comparison.
+    #[allow(clippy::cast_possible_truncation, clippy::float_cmp)]
     fn build_cdf(&mut self) {
         // Cap the table: beyond ~1M keys the tail contributes uniformly
         // enough that we bucket it.
@@ -93,6 +97,8 @@ impl ZipfSampler {
     /// The fraction of requests that hit the hottest `capacity` keys —
     /// the analytic hit rate of a cache holding exactly the head of the
     /// popularity distribution.
+    // `capacity as usize` is immediately min-clamped to the table size.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn hit_rate(&self, capacity: u64) -> f64 {
         if capacity == 0 {
             return 0.0;

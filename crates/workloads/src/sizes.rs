@@ -69,6 +69,9 @@ impl SizeDistribution {
     ///
     /// Panics if the distribution is malformed (e.g. empty mixture,
     /// uniform with `low > high`).
+    // Heavy-tail draws saturate into the configured `cap` right after
+    // the f64→u32 cast; truncation of the unbounded tail is the point.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn sample(&self, rng: &mut dyn RngCore) -> u32 {
         match self {
             SizeDistribution::Fixed { bytes } => *bytes,

@@ -1,6 +1,11 @@
 //! End-to-end integration: JSON configuration → multi-instance load
 //! test → statistically aggregated report, across every crate.
 
+// Integration tests exercise the public API end-to-end: unwrap on
+// already-validated setup and exact float comparison (bit-identity is
+// the property under test) are the point here, not defects.
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_possible_truncation)]
+
 use std::sync::Arc;
 
 use treadmill::core::{LoadTest, LoadTestConfig};

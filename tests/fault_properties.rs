@@ -2,6 +2,11 @@
 //! faults, the zero-cost guarantee when faults are configured but
 //! inactive, and bounded retry budgets.
 
+// Integration tests exercise the public API end-to-end: unwrap on
+// already-validated setup and exact float comparison (bit-identity is
+// the property under test) are the point here, not defects.
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_possible_truncation)]
+
 use std::sync::Arc;
 
 use proptest::prelude::*;

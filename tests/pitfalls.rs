@@ -2,6 +2,11 @@
 //! wrong inter-arrival generation, broken statistical aggregation,
 //! client-side queueing bias, and performance hysteresis.
 
+// Integration tests exercise the public API end-to-end: unwrap on
+// already-validated setup and exact float comparison (bit-identity is
+// the property under test) are the point here, not defects.
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_possible_truncation)]
+
 use std::sync::Arc;
 
 use treadmill::baselines::{cloudsuite, mutilate, run_profile, treadmill_shape};

@@ -3,6 +3,11 @@
 //! each other within their documented tolerances on randomly generated
 //! problems.
 
+// Integration tests exercise the public API end-to-end: unwrap on
+// already-validated setup and exact float comparison (bit-identity is
+// the property under test) are the point here, not defects.
+#![allow(clippy::unwrap_used, clippy::float_cmp, clippy::cast_possible_truncation)]
+
 use proptest::prelude::*;
 use treadmill::stats::linalg::Matrix;
 use treadmill::stats::regression::{
