@@ -1,4 +1,4 @@
-//! Performance smoke test: times the three hot-path layers and writes
+//! Performance smoke test: times the four hot-path layers and writes
 //! `BENCH_treadmill.json` so the perf trajectory is tracked per commit.
 //!
 //! Stages (one per optimized layer):
@@ -8,7 +8,12 @@
 //!    indexed queue's schedule/pop path with dense time collisions;
 //! 2. `single_run` — one `LoadTest::run`, exercising the whole
 //!    simulate-then-measure record pipeline;
-//! 3. `collect_tiny` — a reduced factorial `collect()`, exercising the
+//! 3. `checkpointed_run` — the same run driven through `ResumableRun`
+//!    with a checkpoint every `DEFAULT_CKPT_EVENTS` events, proving the
+//!    snapshot path stays within its overhead budget (time spent
+//!    checkpointing ≤5% of the stage-2 wall) and reproduces the plain
+//!    run's bits;
+//! 4. `collect_tiny` — a reduced factorial `collect()`, exercising the
 //!    parallel experiment layer and the O(k) subsampler.
 //!
 //! Usage: `perf_smoke [--check] [--out PATH] [--seed N]`
@@ -77,18 +82,93 @@ fn bench_engine(chains: u64, hops: u32) -> (u64, f64) {
     (engine.events_executed(), wall)
 }
 
-fn bench_single_run(seed: u64, duration_ms: u64) -> (usize, f64) {
+/// Results of the paired plain-vs-checkpointed run measurement.
+struct RunPair {
+    responses: usize,
+    run_wall: f64,
+    ckpts: u64,
+    snapshot_bytes: usize,
+    ckpt_wall: f64,
+    /// Best-of-reps total time spent inside checkpoint serialisation
+    /// during one checkpointed run.
+    ckpt_secs: f64,
+}
+
+/// Measures stage 2 (one plain `LoadTest::run`) and stage 3 (the same
+/// workload through `ResumableRun`, checkpointing every `ckpt_events`
+/// events like the `run_sweep` crash-tolerance loop) as interleaved
+/// best-of-`reps` pairs.
+///
+/// The checkpoint cost being judged is a couple of milliseconds, well
+/// below run-to-run scheduler jitter on a ~100 ms run, so the overhead
+/// budget is computed from `ckpt_secs` — the checkpoint calls timed
+/// directly — over the plain run's wall, not by differencing two noisy
+/// whole-run walls. The runs are deterministic, so per-variant minima
+/// strip the noise; interleaving keeps a load spike from biasing one
+/// variant. The checkpoint scratch buffer is recycled across reps
+/// exactly as `run_sweep` recycles it across checkpoints — steady
+/// state, not the one-off first-allocation cost, is what the budget
+/// bounds. The checkpointed run's report must match the plain run
+/// bit-for-bit.
+fn bench_run_pair(seed: u64, duration_ms: u64, ckpt_events: u64, reps: u32) -> RunPair {
+    use treadmill_core::ResumableRun;
+
     let test = LoadTest::new(Arc::new(Memcached::default()), 250_000.0)
         .clients(4)
         .duration(SimDuration::from_millis(duration_ms))
         .warmup(SimDuration::from_millis(duration_ms / 4))
         .seed(seed);
-    // tml-lint: allow(DET002, wall-clock timing of a seeded LoadTest::run; results go to BENCH_treadmill.json only)
-    let start = Instant::now();
-    let report = test.run(0);
-    let wall = start.elapsed().as_secs_f64();
-    assert!(report.aggregated.p99 > 0.0, "run produced no latencies");
-    (report.run.total_responses(), wall)
+    let mut run_wall = f64::INFINITY;
+    let mut ckpt_wall = f64::INFINITY;
+    let mut ckpt_secs = f64::INFINITY;
+    let mut responses = 0usize;
+    let mut p99 = 0f64;
+    let mut ckpts = 0u64;
+    let mut snapshot_bytes = 0usize;
+    let mut ckpt_buf = Vec::new();
+    for _ in 0..reps {
+        // tml-lint: allow(DET002, wall-clock timing of seeded deterministic runs; results go to BENCH_treadmill.json only)
+        let start = Instant::now();
+        let report = test.clone().run(0);
+        run_wall = run_wall.min(start.elapsed().as_secs_f64());
+        responses = report.run.total_responses();
+        p99 = report.aggregated.p99;
+
+        // tml-lint: allow(DET002, wall-clock timing of the seeded checkpoint path; informational perf numbers only)
+        let start = Instant::now();
+        let mut run = ResumableRun::new(test.clone(), 0);
+        ckpts = 0;
+        let mut in_ckpt = 0.0;
+        while run.step(ckpt_events) > 0 {
+            if run.is_finished() {
+                break;
+            }
+            // tml-lint: allow(DET002, times the checkpoint call itself for the overhead budget)
+            let c = Instant::now();
+            run.checkpoint_into(&mut ckpt_buf);
+            in_ckpt += c.elapsed().as_secs_f64();
+            snapshot_bytes = ckpt_buf.len();
+            ckpts += 1;
+        }
+        let ck_report = run.finish();
+        ckpt_wall = ckpt_wall.min(start.elapsed().as_secs_f64());
+        ckpt_secs = ckpt_secs.min(in_ckpt);
+        assert!(ckpts > 0, "checkpoint stage took no checkpoints");
+        assert_eq!(
+            ck_report.aggregated.p99.to_bits(),
+            p99.to_bits(),
+            "checkpointed run drifted from the plain run"
+        );
+    }
+    assert!(p99 > 0.0, "run produced no latencies");
+    RunPair {
+        responses,
+        run_wall,
+        ckpts,
+        snapshot_bytes,
+        ckpt_wall,
+        ckpt_secs,
+    }
 }
 
 fn bench_collect(seed: u64, runs_per_config: usize, duration_ms: u64) -> (usize, f64) {
@@ -150,12 +230,55 @@ fn main() {
     // real regressions.
     let (chains, hops) = if check { (256, 2_000) } else { (1_024, 8_000) };
     let (run_ms, collect_runs, collect_ms) = if check { (60, 1, 40) } else { (400, 3, 80) };
+    // Best-of-N repetitions for the two stages whose walls are compared
+    // against each other; check mode keeps a single rep for speed.
+    let reps = if check { 1 } else { 5 };
 
     let (events, engine_wall) = bench_engine(chains, hops);
     let engine_stage = stage("engine_events", "events", events, engine_wall);
 
-    let (responses, run_wall) = bench_single_run(seed, run_ms);
-    let run_stage = stage("single_run", "responses", responses as u64, run_wall);
+    // Full mode measures the production default interval; check mode's
+    // tiny run has fewer events than the default, so it shrinks the
+    // interval to still exercise a mid-run snapshot.
+    let ckpt_events = if check {
+        50_000
+    } else {
+        treadmill_core::sweep::DEFAULT_CKPT_EVENTS
+    };
+    let pair = bench_run_pair(seed, run_ms, ckpt_events, reps);
+    let run_stage = stage(
+        "single_run",
+        "responses",
+        pair.responses as u64,
+        pair.run_wall,
+    );
+
+    let overhead_pct = pair.ckpt_secs / pair.run_wall * 100.0;
+    let mut ckpt_stage = stage("checkpointed_run", "checkpoints", pair.ckpts, pair.ckpt_wall);
+    if let Value::Object(obj) = &mut ckpt_stage {
+        obj.insert("overhead_pct".to_string(), Value::Float(overhead_pct));
+        obj.insert(
+            "ckpt_ms".to_string(),
+            Value::Float(pair.ckpt_secs * 1e3),
+        );
+        obj.insert(
+            "snapshot_bytes".to_string(),
+            Value::UInt(pair.snapshot_bytes as u64),
+        );
+    }
+    let (ckpts, snapshot_bytes) = (pair.ckpts, pair.snapshot_bytes);
+    println!(
+        "checkpointed_run: {ckpts} checkpoints ({snapshot_bytes} B each), \
+         {:.2} ms checkpointing = {overhead_pct:+.1}% of single_run",
+        pair.ckpt_secs * 1e3
+    );
+    // The ≤5% budget is asserted only at full scale: check mode's tiny
+    // run makes the delta mostly scheduler noise, and CI must stay
+    // load-insensitive.
+    assert!(
+        check || overhead_pct <= 5.0,
+        "checkpoint overhead {overhead_pct:.1}% exceeds the 5% budget"
+    );
 
     let (samples, collect_wall) = bench_collect(seed, collect_runs, collect_ms);
     let collect_stage = stage("collect_tiny", "samples", samples as u64, collect_wall);
@@ -169,7 +292,7 @@ fn main() {
     root.insert("seed".to_string(), Value::UInt(seed));
     root.insert(
         "benchmarks".to_string(),
-        Value::Array(vec![engine_stage, run_stage, collect_stage]),
+        Value::Array(vec![engine_stage, run_stage, ckpt_stage, collect_stage]),
     );
     let json =
         serde_json::to_string_pretty(&Value::Object(root)).expect("serialize benchmark report");
@@ -181,6 +304,6 @@ fn main() {
     let benchmarks = parsed["benchmarks"]
         .as_array()
         .expect("report has a benchmarks array");
-    assert_eq!(benchmarks.len(), 3, "expected one entry per stage");
+    assert_eq!(benchmarks.len(), 4, "expected one entry per stage");
     println!("wrote {out}");
 }

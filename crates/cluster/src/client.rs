@@ -117,6 +117,21 @@ impl ClientMachine {
     pub fn mean_cpu_queueing_us(&self) -> f64 {
         self.cpu.mean_queueing_micros()
     }
+
+    /// The client-CPU queue state, captured for checkpointing.
+    pub(crate) fn cpu_state(&self) -> treadmill_sim_core::RateQueueState {
+        self.cpu.state()
+    }
+
+    /// Restores CPU-queue state and the sent counter from a checkpoint.
+    pub(crate) fn restore_cpu_state(
+        &mut self,
+        cpu: treadmill_sim_core::RateQueueState,
+        sent: u64,
+    ) {
+        self.cpu.restore_state(cpu);
+        self.sent = sent;
+    }
 }
 
 #[cfg(test)]

@@ -318,6 +318,20 @@ pub struct FaultPlan {
     stalls: u64,
 }
 
+/// A [`FaultPlan`]'s mutable state, captured for checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FaultPlanState {
+    pub rng: [u64; 4],
+    pub crash_cursor: u64,
+    pub last_crash_at: SimTime,
+    pub uplink_drops: u64,
+    pub downlink_drops: u64,
+    pub nic_drops: u64,
+    pub crash_drops: u64,
+    pub crashes: u64,
+    pub stalls: u64,
+}
+
 fn exp_gap(rng: &mut SmallRng, rate_hz: f64) -> SimDuration {
     let u: f64 = rng.gen::<f64>();
     let secs = -(1.0 - u).ln() / rate_hz;
@@ -453,6 +467,42 @@ impl FaultPlan {
     /// Draws the gap until the next injected stall.
     pub fn draw_stall_gap(&mut self) -> SimDuration {
         exp_gap(&mut self.rng, self.spec.stall_rate_hz)
+    }
+
+    /// Captures the plan's mutable state for checkpointing. The
+    /// pre-drawn crash windows and first-stall instant are *not*
+    /// included: they are a pure function of the spec and the seed
+    /// stream, so a resumed run regenerates them via
+    /// [`FaultPlan::generate`] and then overwrites the mutable state
+    /// with [`FaultPlan::restore_checkpoint_state`].
+    pub(crate) fn checkpoint_state(&self) -> FaultPlanState {
+        FaultPlanState {
+            rng: self.rng.state(),
+            crash_cursor: self.crash_cursor as u64,
+            last_crash_at: self.last_crash_at,
+            uplink_drops: self.uplink_drops,
+            downlink_drops: self.downlink_drops,
+            nic_drops: self.nic_drops,
+            crash_drops: self.crash_drops,
+            crashes: self.crashes,
+            stalls: self.stalls,
+        }
+    }
+
+    /// Overwrites the plan's mutable state with a checkpointed
+    /// [`FaultPlanState`]. The plan must have been regenerated from the
+    /// same spec and seed stream.
+    pub(crate) fn restore_checkpoint_state(&mut self, state: &FaultPlanState) {
+        self.rng = SmallRng::from_state(state.rng);
+        self.crash_cursor =
+            usize::try_from(state.crash_cursor).unwrap_or(self.crash_windows.len());
+        self.last_crash_at = state.last_crash_at;
+        self.uplink_drops = state.uplink_drops;
+        self.downlink_drops = state.downlink_drops;
+        self.nic_drops = state.nic_drops;
+        self.crash_drops = state.crash_drops;
+        self.crashes = state.crashes;
+        self.stalls = state.stalls;
     }
 
     /// The fabric/server-side counter snapshot (client-side counters

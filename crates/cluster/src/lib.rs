@@ -44,7 +44,9 @@
 )]
 #![warn(missing_docs)]
 
+mod audit;
 mod capture;
+pub mod checkpoint;
 mod client;
 mod config;
 mod fault;
@@ -57,6 +59,7 @@ pub mod spec;
 mod trace;
 mod world;
 
+pub use audit::audit_invariants;
 pub use capture::{CapturedPair, PacketCapture};
 pub use client::ClientMachine;
 pub use config::{ClientSpec, HardwareConfig, HysteresisSpec, Level, NetworkSpec, ServerSpec};
@@ -66,4 +69,4 @@ pub use network::Network;
 pub use request::{Request, RequestId, ResponseRecord};
 pub use source::{PoissonSource, SendOrder, TrafficSource};
 pub use trace::{TraceError, TraceSource};
-pub use world::{ClusterBuilder, ClusterWorld, CoreStats, Event, RunResult};
+pub use world::{extract_result, ClusterBuilder, ClusterWorld, CoreStats, Event, RunResult};

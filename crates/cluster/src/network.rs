@@ -108,6 +108,44 @@ impl Network {
     pub fn uplink_utilization(&self, client: usize, now: SimTime) -> f64 {
         self.client_uplinks[client].utilization(now)
     }
+
+    /// All link-queue states in a fixed order (uplinks, downlinks,
+    /// server ingress, server egress), captured for checkpointing.
+    pub(crate) fn checkpoint_state(&self) -> Vec<treadmill_sim_core::RateQueueState> {
+        self.client_uplinks
+            .iter()
+            .chain(&self.client_downlinks)
+            .chain(std::iter::once(&self.server_ingress))
+            .chain(std::iter::once(&self.server_egress))
+            .map(RateQueue::state)
+            .collect()
+    }
+
+    /// Restores the link-queue states captured by
+    /// [`Network::checkpoint_state`]. The fabric must have been rebuilt
+    /// with the same client set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state count does not match this fabric's link
+    /// count.
+    pub(crate) fn restore_checkpoint_state(
+        &mut self,
+        states: &[treadmill_sim_core::RateQueueState],
+    ) {
+        let n = self.client_uplinks.len();
+        assert_eq!(states.len(), 2 * n + 2, "link-state count mismatch");
+        for (queue, state) in self
+            .client_uplinks
+            .iter_mut()
+            .chain(&mut self.client_downlinks)
+            .chain(std::iter::once(&mut self.server_ingress))
+            .chain(std::iter::once(&mut self.server_egress))
+            .zip(states)
+        {
+            queue.restore_state(*state);
+        }
+    }
 }
 
 #[cfg(test)]

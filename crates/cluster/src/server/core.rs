@@ -138,6 +138,30 @@ impl Core {
     pub fn transitions(&self) -> u64 {
         self.transitions
     }
+
+    /// The queued jobs in run-queue order, for checkpointing.
+    pub(crate) fn queued_jobs(&self) -> impl Iterator<Item = &CoreJob> {
+        self.queue.iter()
+    }
+
+    /// Overwrites the core's runtime state from a checkpoint. Unlike
+    /// [`Core::set_freq`], restoring the frequency does not count a
+    /// transition — the transition was counted when it originally
+    /// happened and is part of `transitions`.
+    pub(crate) fn restore_runtime_state(
+        &mut self,
+        queue: VecDeque<CoreJob>,
+        busy: bool,
+        freq_ghz: f64,
+        jobs_done: u64,
+        transitions: u64,
+    ) {
+        self.queue = queue;
+        self.busy = busy;
+        self.freq_ghz = freq_ghz;
+        self.jobs_done = jobs_done;
+        self.transitions = transitions;
+    }
 }
 
 #[cfg(test)]

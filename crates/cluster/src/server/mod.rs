@@ -254,6 +254,41 @@ impl Server {
         global
     }
 
+    /// The server-level mutable state outside the cores (thermal model,
+    /// per-core busy baselines, tick bookkeeping, optional frequency
+    /// trace), captured for checkpointing.
+    pub(crate) fn checkpoint_state(
+        &self,
+    ) -> (f64, &[SimDuration], SimTime, Option<&[FrequencyEvent]>) {
+        (
+            self.thermal.heat(),
+            &self.prev_busy,
+            self.last_thermal,
+            self.freq_trace.as_deref(),
+        )
+    }
+
+    /// Restores the state captured by [`Server::checkpoint_state`].
+    /// The server must have been rebuilt with the same spec and
+    /// hardware configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the busy-baseline count does not match the core count.
+    pub(crate) fn restore_checkpoint_state(
+        &mut self,
+        heat: f64,
+        prev_busy: Vec<SimDuration>,
+        last_thermal: SimTime,
+        freq_trace: Option<Vec<FrequencyEvent>>,
+    ) {
+        assert_eq!(prev_busy.len(), self.cores.len(), "busy-baseline count mismatch");
+        self.thermal.restore_heat(heat);
+        self.prev_busy = prev_busy;
+        self.last_thermal = last_thermal;
+        self.freq_trace = freq_trace;
+    }
+
     /// Mean utilisation across cores over `[0, now]`.
     pub fn mean_utilization(&self, now: SimTime) -> f64 {
         let n = self.cores.len() as f64;

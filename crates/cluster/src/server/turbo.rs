@@ -90,6 +90,12 @@ impl ThermalModel {
     pub fn turbo_enabled(&self) -> bool {
         self.turbo_enabled
     }
+
+    /// Overwrites the heat state from a checkpoint. All other fields
+    /// are configuration and survive a rebuild unchanged.
+    pub(crate) fn restore_heat(&mut self, heat: f64) {
+        self.heat = heat;
+    }
 }
 
 #[cfg(test)]

@@ -40,6 +40,19 @@ pub trait TrafficSource: fmt::Debug + Send {
     /// sources issue the connection's next request here.
     fn on_response(&mut self, conn: u32, now: SimTime, rng: &mut dyn RngCore)
         -> Option<SendOrder>;
+
+    /// The source's mutable state packed into one word, for
+    /// checkpointing. Sources whose send decisions depend on mutable
+    /// fields beyond the RNG (a round-robin cursor, a schedule head)
+    /// must override this together with
+    /// [`TrafficSource::restore_checkpoint_word`]; stateless sources
+    /// keep the default.
+    fn checkpoint_word(&self) -> u64 {
+        0
+    }
+
+    /// Restores state captured by [`TrafficSource::checkpoint_word`].
+    fn restore_checkpoint_word(&mut self, _word: u64) {}
 }
 
 /// A minimal open-loop Poisson source: exponential inter-arrivals at a
@@ -113,6 +126,15 @@ impl TrafficSource for PoissonSource {
         _rng: &mut dyn RngCore,
     ) -> Option<SendOrder> {
         None
+    }
+
+    fn checkpoint_word(&self) -> u64 {
+        u64::from(self.next_conn)
+    }
+
+    fn restore_checkpoint_word(&mut self, word: u64) {
+        self.next_conn = u32::try_from(word % u64::from(self.connections))
+            .unwrap_or(0);
     }
 }
 

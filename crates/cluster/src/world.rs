@@ -138,13 +138,13 @@ pub struct ClusterWorld {
     pub clients: Vec<ClientMachine>,
     run_state: RunState,
     stop_sending_at: SimTime,
-    next_id: u64,
-    outstanding: u32,
-    outstanding_samples: Vec<(SimTime, u32)>,
+    pub(crate) next_id: u64,
+    pub(crate) outstanding: u32,
+    pub(crate) outstanding_samples: Vec<(SimTime, u32)>,
     sample_outstanding: bool,
     /// `None` when no faults are configured — the fault-free hot path
     /// then executes the exact event/RNG sequence of the plain engine.
-    faults: Option<FaultPlan>,
+    pub(crate) faults: Option<FaultPlan>,
     /// `None` when the retry policy is disabled.
     policy: Option<RetryPolicy>,
 }
@@ -158,6 +158,20 @@ impl ClusterWorld {
     /// Requests currently in flight.
     pub fn outstanding(&self) -> u32 {
         self.outstanding
+    }
+
+    /// True if a retry policy is active, in which case every in-flight
+    /// logical request has an entry in its client's tracking map.
+    pub(crate) fn tracks_in_flight(&self) -> bool {
+        self.policy.is_some()
+    }
+
+    /// Corrupts the in-flight counter by `delta` — a deliberate
+    /// conservation violation for exercising the invariant auditor in
+    /// negative tests. Never call this outside tests.
+    #[doc(hidden)]
+    pub fn debug_skew_outstanding(&mut self, delta: u32) {
+        self.outstanding += delta;
     }
 
     // Client indices fit u32: cluster configs top out at a handful of
@@ -791,76 +805,89 @@ impl ClusterBuilder {
     pub fn run(self) -> RunResult {
         let mut engine = self.build();
         engine.run_to_completion();
-        let completed_at = engine.now();
-        let events_executed = engine.events_executed();
-        let world = engine.into_world();
-        let sending_stopped_at = world.stop_sending_at;
-        let per_core = world
-            .server
-            .cores
-            .iter()
-            .map(|c| CoreStats {
-                core: c.id,
-                socket: c.socket,
-                utilization: c.util.utilization(sending_stopped_at),
-                final_freq_ghz: c.freq_ghz(),
-                jobs_done: c.jobs_done(),
-                transitions: c.transitions(),
-            })
-            .collect();
-        let server_utilization = world.server.mean_utilization(sending_stopped_at);
-        let frequency_transitions = world.server.total_transitions();
-        let final_heat = world.server.thermal().heat();
-        let run_remote_fraction = world.run_state.remote_fraction();
-        let client_cpu_utilization = world
-            .clients
-            .iter()
-            .map(|c| c.cpu_utilization(sending_stopped_at))
-            .collect();
-        let frequency_trace = world
-            .server
-            .frequency_trace()
-            .map(<[crate::server::FrequencyEvent]>::to_vec)
-            .unwrap_or_default();
-        let mut fault_summary = world
-            .faults
-            .as_ref()
-            .map(FaultPlan::summary_base)
-            .unwrap_or_default();
-        let mut client_records: Vec<Vec<ResponseRecord>> =
-            Vec::with_capacity(world.clients.len());
-        let mut client_failures = Vec::with_capacity(world.clients.len());
-        for c in world.clients {
-            fault_summary.retries += c.retries_sent;
-            fault_summary.hedges += c.hedges_sent;
-            fault_summary.timeouts += c.timeouts;
-            fault_summary.resets += c.resets;
-            fault_summary.failed_requests += c.failures.len() as u64;
-            client_records.push(c.records);
-            client_failures.push(c.failures);
-        }
-        let delivered_in_window = client_records
-            .iter()
-            .flatten()
-            .filter(|r| r.t_delivered <= sending_stopped_at)
-            .count();
-        RunResult {
-            per_core,
-            server_utilization,
-            frequency_transitions,
-            final_heat,
-            run_remote_fraction,
-            client_cpu_utilization,
-            frequency_trace,
-            client_records,
-            client_failures,
-            fault_summary,
-            delivered_in_window,
-            outstanding: world.outstanding_samples,
-            sending_stopped_at,
-            completed_at,
-            events_executed,
-        }
+        extract_result(engine)
+    }
+}
+
+/// Extracts a [`RunResult`] from a finished (or checkpoint-resumed and
+/// then finished) engine. [`ClusterBuilder::run`] is exactly
+/// `build()` + `run_to_completion()` + this, so a stepped run that
+/// drains the queue and calls this produces a bit-identical result.
+///
+/// A final invariant audit runs before extraction; any findings land in
+/// [`RunResult::audit_findings`].
+pub fn extract_result(engine: Engine<ClusterWorld>) -> RunResult {
+    let audit_findings = crate::audit::audit_invariants(&engine, usize::MAX);
+    let completed_at = engine.now();
+    let events_executed = engine.events_executed();
+    let world = engine.into_world();
+    let sending_stopped_at = world.stop_sending_at;
+    let per_core = world
+        .server
+        .cores
+        .iter()
+        .map(|c| CoreStats {
+            core: c.id,
+            socket: c.socket,
+            utilization: c.util.utilization(sending_stopped_at),
+            final_freq_ghz: c.freq_ghz(),
+            jobs_done: c.jobs_done(),
+            transitions: c.transitions(),
+        })
+        .collect();
+    let server_utilization = world.server.mean_utilization(sending_stopped_at);
+    let frequency_transitions = world.server.total_transitions();
+    let final_heat = world.server.thermal().heat();
+    let run_remote_fraction = world.run_state.remote_fraction();
+    let client_cpu_utilization = world
+        .clients
+        .iter()
+        .map(|c| c.cpu_utilization(sending_stopped_at))
+        .collect();
+    let frequency_trace = world
+        .server
+        .frequency_trace()
+        .map(<[crate::server::FrequencyEvent]>::to_vec)
+        .unwrap_or_default();
+    let mut fault_summary = world
+        .faults
+        .as_ref()
+        .map(FaultPlan::summary_base)
+        .unwrap_or_default();
+    let mut client_records: Vec<Vec<ResponseRecord>> =
+        Vec::with_capacity(world.clients.len());
+    let mut client_failures = Vec::with_capacity(world.clients.len());
+    for c in world.clients {
+        fault_summary.retries += c.retries_sent;
+        fault_summary.hedges += c.hedges_sent;
+        fault_summary.timeouts += c.timeouts;
+        fault_summary.resets += c.resets;
+        fault_summary.failed_requests += c.failures.len() as u64;
+        client_records.push(c.records);
+        client_failures.push(c.failures);
+    }
+    let delivered_in_window = client_records
+        .iter()
+        .flatten()
+        .filter(|r| r.t_delivered <= sending_stopped_at)
+        .count();
+    RunResult {
+        per_core,
+        server_utilization,
+        frequency_transitions,
+        final_heat,
+        run_remote_fraction,
+        client_cpu_utilization,
+        frequency_trace,
+        client_records,
+        client_failures,
+        fault_summary,
+        delivered_in_window,
+        outstanding: world.outstanding_samples,
+        sending_stopped_at,
+        completed_at,
+        events_executed,
+        audit_findings,
     }
 }
 
@@ -901,6 +928,9 @@ pub struct RunResult {
     pub run_remote_fraction: f64,
     /// Total events executed.
     pub events_executed: u64,
+    /// Invariant-auditor findings from the end-of-run audit (empty for
+    /// a healthy run). See [`crate::audit::audit_invariants`].
+    pub audit_findings: Vec<String>,
 }
 
 impl RunResult {

@@ -68,6 +68,14 @@ impl TrafficSource for OpenLoopSource {
     ) -> Option<SendOrder> {
         None // open loop: responses never gate sends
     }
+
+    fn checkpoint_word(&self) -> u64 {
+        u64::from(self.next_conn)
+    }
+
+    fn restore_checkpoint_word(&mut self, word: u64) {
+        self.next_conn = u32::try_from(word % u64::from(self.connections)).unwrap_or(0);
+    }
 }
 
 /// The closed-loop controller of prior load testers (YCSB, Faban,
@@ -210,6 +218,14 @@ impl TrafficSource for RateLimitedClosedLoopSource {
             at: slot.max(now),
             conn,
         })
+    }
+
+    fn checkpoint_word(&self) -> u64 {
+        self.schedule_head.as_nanos()
+    }
+
+    fn restore_checkpoint_word(&mut self, word: u64) {
+        self.schedule_head = SimTime::from_nanos(word);
     }
 }
 

@@ -52,7 +52,9 @@ mod interarrival;
 pub mod omission;
 mod phases;
 pub mod report;
+mod resumable;
 mod runner;
+pub mod sweep;
 pub mod timeline;
 
 pub use aggregation::{
@@ -67,6 +69,8 @@ pub use instance::{InstanceConfig, TreadmillInstance};
 pub use interarrival::InterArrival;
 pub use phases::{Phase, PhaseConfig};
 pub use report::{health_warnings, render_report};
+pub use resumable::{ResumableRun, TailMonitor};
 pub use runner::{
     LoadTest, LoadTestReport, RerunPolicy, RobustRunOutcome, RunDegradation,
 };
+pub use sweep::{run_sweep, SweepError, SweepOptions, SweepOutcome};

@@ -107,6 +107,11 @@ pub fn health_warnings(report: &LoadTestReport, target_rps: f64) -> Vec<String> 
             loss * 100.0
         ));
     }
+    for finding in &report.run.audit_findings {
+        warnings.push(format!(
+            "invariant auditor: {finding} — treat this run's numbers as corrupt"
+        ));
+    }
     let faults = &report.run.fault_summary;
     if !faults.is_quiet() {
         warnings.push(format!(

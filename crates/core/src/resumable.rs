@@ -1,0 +1,431 @@
+//! Stepped, checkpointable execution of one load-test run.
+//!
+//! [`ResumableRun`] drives the same engine [`LoadTest::run`] would
+//! build, but in bounded event batches, with three extras a long
+//! unattended run needs:
+//!
+//! * **checkpointing** — [`ResumableRun::checkpoint`] captures the
+//!   engine snapshot ([`treadmill_cluster::checkpoint`]) *plus* the
+//!   streaming tail estimators into one sealed envelope;
+//!   [`ResumableRun::resume`] restores both, so a run killed at any
+//!   event and resumed from its last checkpoint finishes with a
+//!   bit-identical [`LoadTestReport`];
+//! * **live tail monitoring** — constant-memory streaming estimators
+//!   (mean/variance, P² p99, a log-histogram) over the post-warm-up
+//!   user latencies, available mid-run without touching the record
+//!   vectors;
+//! * **auditing** — [`ResumableRun::audit`] runs the cluster invariant
+//!   checks against the live engine, e.g. at every checkpoint.
+
+use treadmill_cluster::{checkpoint, ClusterWorld};
+use treadmill_sim_core::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
+use treadmill_sim_core::{Engine, SimTime};
+use treadmill_stats::{
+    LogHistogram, LogHistogramState, P2Quantile, P2State, StreamingStats, StreamingState,
+};
+
+use crate::runner::{LoadTest, LoadTestReport};
+
+/// Constant-memory estimators over the measurement-window latencies,
+/// fed incrementally as records arrive.
+#[derive(Debug, Clone)]
+pub struct TailMonitor {
+    stats: StreamingStats,
+    p99: P2Quantile,
+    histogram: LogHistogram,
+}
+
+/// Histogram coverage: 1 µs – 10 s at 1% buckets matches the adaptive
+/// instance histogram's dynamic range.
+const HIST_MIN_US: f64 = 1.0;
+const HIST_MAX_US: f64 = 10_000_000.0;
+const HIST_PRECISION: f64 = 0.01;
+
+impl TailMonitor {
+    fn new() -> Self {
+        TailMonitor {
+            stats: StreamingStats::new(),
+            p99: P2Quantile::new(0.99),
+            histogram: LogHistogram::new(HIST_MIN_US, HIST_MAX_US, HIST_PRECISION),
+        }
+    }
+
+    fn observe(&mut self, latency_us: f64) {
+        self.stats.record(latency_us);
+        self.p99.record(latency_us);
+        self.histogram.record(latency_us);
+    }
+
+    /// Samples observed so far.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Running mean latency (µs).
+    pub fn mean_us(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// The P² running p99 estimate (µs).
+    pub fn p99_us(&self) -> f64 {
+        self.p99.estimate()
+    }
+
+    /// A histogram quantile estimate (µs).
+    pub fn quantile_us(&self, p: f64) -> f64 {
+        self.histogram.quantile(p)
+    }
+
+    fn write(&self, w: &mut SnapshotWriter) {
+        let s = self.stats.state();
+        w.put_u64(s.count);
+        w.put_f64(s.mean);
+        w.put_f64(s.m2);
+        w.put_f64(s.min);
+        w.put_f64(s.max);
+
+        let p = self.p99.state();
+        w.put_f64(p.p);
+        for group in [&p.heights, &p.positions, &p.desired, &p.increments] {
+            for &v in group {
+                w.put_f64(v);
+            }
+        }
+        w.put_usize(p.count);
+        w.put_u64(p.initial.len() as u64);
+        for &v in &p.initial {
+            w.put_f64(v);
+        }
+
+        let h = self.histogram.state();
+        w.put_f64(h.min);
+        w.put_f64(h.log_min);
+        w.put_f64(h.log_ratio);
+        w.put_u64(h.counts.len() as u64);
+        for &c in &h.counts {
+            w.put_u64(c);
+        }
+        w.put_u64(h.underflow);
+        w.put_u64(h.overflow);
+        w.put_u64(h.total);
+        w.put_f64(h.sum);
+        w.put_f64(h.max_seen);
+    }
+
+    fn read(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
+        let stats = StreamingStats::from_state(StreamingState {
+            count: r.get_u64()?,
+            mean: r.get_f64()?,
+            m2: r.get_f64()?,
+            min: r.get_f64()?,
+            max: r.get_f64()?,
+        });
+
+        let p = r.get_f64()?;
+        let mut groups = [[0.0f64; 5]; 4];
+        for group in &mut groups {
+            for v in group.iter_mut() {
+                *v = r.get_f64()?;
+            }
+        }
+        let count = r.get_usize()?;
+        let n_initial = r.get_u64()?;
+        if n_initial > 5 {
+            return Err(SnapshotError::Malformed("oversized P2 warm-up buffer"));
+        }
+        let mut initial = Vec::with_capacity(5);
+        for _ in 0..n_initial {
+            initial.push(r.get_f64()?);
+        }
+        let p99 = P2Quantile::from_state(P2State {
+            p,
+            heights: groups[0],
+            positions: groups[1],
+            desired: groups[2],
+            increments: groups[3],
+            count,
+            initial,
+        });
+
+        let min = r.get_f64()?;
+        let log_min = r.get_f64()?;
+        let log_ratio = r.get_f64()?;
+        let n_counts = r.get_u64()?;
+        let n_counts = usize::try_from(n_counts)
+            .map_err(|_| SnapshotError::Malformed("histogram size overflows usize"))?;
+        let mut counts = Vec::with_capacity(n_counts);
+        for _ in 0..n_counts {
+            counts.push(r.get_u64()?);
+        }
+        let histogram = LogHistogram::from_state(LogHistogramState {
+            min,
+            log_min,
+            log_ratio,
+            counts,
+            underflow: r.get_u64()?,
+            overflow: r.get_u64()?,
+            total: r.get_u64()?,
+            sum: r.get_f64()?,
+            max_seen: r.get_f64()?,
+        });
+
+        Ok(TailMonitor {
+            stats,
+            p99,
+            histogram,
+        })
+    }
+}
+
+/// One load-test run executing in bounded steps with checkpoint/resume.
+#[derive(Debug)]
+pub struct ResumableRun {
+    test: LoadTest,
+    run_seed: u64,
+    engine: Engine<ClusterWorld>,
+    monitor: TailMonitor,
+    /// Per-client count of records already folded into the monitor.
+    consumed: Vec<usize>,
+}
+
+impl ResumableRun {
+    /// Starts run number `run_index` of `test` from event zero.
+    pub fn new(test: LoadTest, run_index: u64) -> Self {
+        let run_seed = test.derive_run_seed(run_index);
+        let engine = test.build_cluster(run_seed);
+        let consumed = vec![0; engine.world().clients.len()];
+        ResumableRun {
+            test,
+            run_seed,
+            engine,
+            monitor: TailMonitor::new(),
+            consumed,
+        }
+    }
+
+    /// Executes up to `max_events` events and folds newly completed
+    /// records into the tail monitor. Returns the number executed;
+    /// `0` means the run has drained.
+    pub fn step(&mut self, max_events: u64) -> u64 {
+        let executed = self.engine.run_events(max_events);
+        self.drain_new_records();
+        executed
+    }
+
+    fn drain_new_records(&mut self) {
+        let warmup = SimTime::ZERO + self.test.warmup_window();
+        for (consumed, client) in self.consumed.iter_mut().zip(&self.engine.world().clients) {
+            for record in &client.records[*consumed..] {
+                if record.t_generated >= warmup {
+                    self.monitor.observe(record.user_latency_us());
+                }
+            }
+            *consumed = client.records.len();
+        }
+    }
+
+    /// True once every event has drained.
+    pub fn is_finished(&self) -> bool {
+        self.engine.pending_events() == 0
+    }
+
+    /// Events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.engine.events_executed()
+    }
+
+    /// The live tail monitor.
+    pub fn tail(&self) -> &TailMonitor {
+        &self.monitor
+    }
+
+    /// Runs the cluster invariant auditor against the live engine.
+    /// See [`treadmill_cluster::audit_invariants`].
+    pub fn audit(&self, max_pending: usize) -> Vec<String> {
+        treadmill_cluster::audit_invariants(&self.engine, max_pending)
+    }
+
+    /// Captures the full run state — engine snapshot plus streaming
+    /// estimators — as one sealed, checksummed envelope. The engine
+    /// payload is embedded directly (not double-sealed), so the whole
+    /// checkpoint costs one serialisation pass and one checksum.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.checkpoint_into(&mut buf);
+        buf
+    }
+
+    /// [`ResumableRun::checkpoint`], but recycling `buf`'s allocation.
+    /// A loop that checkpoints every few million events should pass the
+    /// same buffer each time: reusing the multi-megabyte backing store
+    /// avoids a fresh allocation — and its page-fault cost — per
+    /// checkpoint, which is most of the snapshot wall time.
+    pub fn checkpoint_into(&self, buf: &mut Vec<u8>) {
+        let scratch = std::mem::take(buf);
+        let mut w = SnapshotWriter::sealing_reuse(
+            scratch,
+            checkpoint::payload_size_hint(&self.engine) + 8192,
+        );
+        w.put_u64(self.run_seed);
+        checkpoint::write_payload(&self.engine, &mut w);
+        w.put_u64(self.consumed.len() as u64);
+        for &n in &self.consumed {
+            w.put_usize(n);
+        }
+        self.monitor.write(&mut w);
+        *buf = w.into_sealed();
+    }
+
+    /// Restores a run from a [`ResumableRun::checkpoint`] envelope.
+    /// `test` and `run_index` must describe the same configuration the
+    /// checkpoint was taken from.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapshotError`] if the envelope is corrupt, was
+    /// taken under a different seed, or disagrees structurally with
+    /// the configuration.
+    pub fn resume(test: LoadTest, run_index: u64, bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let payload = snapshot::open(bytes)?;
+        let mut r = SnapshotReader::new(payload);
+        let run_seed = r.get_u64()?;
+        if run_seed != test.derive_run_seed(run_index) {
+            return Err(SnapshotError::Malformed(
+                "checkpoint was taken under a different run seed",
+            ));
+        }
+        let mut engine = test.build_cluster(run_seed);
+        checkpoint::read_payload(&mut engine, &mut r)?;
+        let n_consumed = r.get_u64()?;
+        let mut consumed = Vec::with_capacity(
+            usize::try_from(n_consumed)
+                .map_err(|_| SnapshotError::Malformed("length overflows usize"))?,
+        );
+        for _ in 0..n_consumed {
+            consumed.push(r.get_usize()?);
+        }
+        let monitor = TailMonitor::read(&mut r)?;
+        r.finish()?;
+        if consumed.len() != engine.world().clients.len() {
+            return Err(SnapshotError::Malformed("client count mismatch"));
+        }
+        Ok(ResumableRun {
+            test,
+            run_seed,
+            engine,
+            monitor,
+            consumed,
+        })
+    }
+
+    /// Drains the remaining events and assembles the report —
+    /// bit-identical to what `test.run(run_index)` would have produced
+    /// in one uninterrupted execution.
+    pub fn finish(mut self) -> LoadTestReport {
+        self.engine.run_to_completion();
+        self.test
+            .report_from_result(treadmill_cluster::extract_result(self.engine))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use treadmill_sim_core::SimDuration;
+    use treadmill_workloads::Memcached;
+
+    fn quick_test() -> LoadTest {
+        LoadTest::new(Arc::new(Memcached::default()), 150_000.0)
+            .clients(2)
+            .duration(SimDuration::from_millis(80))
+            .warmup(SimDuration::from_millis(20))
+            .seed(9)
+    }
+
+    fn assert_reports_identical(a: &LoadTestReport, b: &LoadTestReport) {
+        assert_eq!(a.aggregated, b.aggregated);
+        assert_eq!(a.per_instance, b.per_instance);
+        assert_eq!(a.run.client_records, b.run.client_records);
+        assert_eq!(a.run.events_executed, b.run.events_executed);
+        assert_eq!(a.run.completed_at, b.run.completed_at);
+    }
+
+    #[test]
+    fn stepped_run_matches_one_shot_run() {
+        let golden = quick_test().run(0);
+        let mut run = ResumableRun::new(quick_test(), 0);
+        while run.step(10_000) > 0 {}
+        assert!(run.is_finished());
+        assert_reports_identical(&golden, &run.finish());
+    }
+
+    #[test]
+    fn kill_and_resume_is_bit_identical() {
+        let golden = quick_test().run(0);
+
+        // Simulate a crash: step partway, checkpoint, drop everything.
+        let bytes = {
+            let mut run = ResumableRun::new(quick_test(), 0);
+            run.step(40_000);
+            run.checkpoint()
+        };
+        let mut resumed = ResumableRun::resume(quick_test(), 0, &bytes).expect("resume");
+        while resumed.step(10_000) > 0 {}
+        assert!(resumed.audit(usize::MAX).is_empty());
+        assert_reports_identical(&golden, &resumed.finish());
+    }
+
+    #[test]
+    fn tail_monitor_survives_resume_bit_exactly() {
+        // The monitor folds each client's new records at every step
+        // boundary, so its observation interleaving depends on the step
+        // cadence; both runs must use the same cadence and the property
+        // under test is that the checkpoint itself perturbs nothing.
+        let mut straight = ResumableRun::new(quick_test(), 0);
+        straight.step(33_333);
+        while straight.step(5_000) > 0 {}
+
+        // Interrupted at the same point, then resumed.
+        let bytes = {
+            let mut run = ResumableRun::new(quick_test(), 0);
+            run.step(33_333);
+            run.checkpoint()
+        };
+        let mut resumed = ResumableRun::resume(quick_test(), 0, &bytes).expect("resume");
+        while resumed.step(5_000) > 0 {}
+
+        assert_eq!(straight.tail().count(), resumed.tail().count());
+        assert_eq!(
+            straight.tail().mean_us().to_bits(),
+            resumed.tail().mean_us().to_bits()
+        );
+        assert_eq!(
+            straight.tail().p99_us().to_bits(),
+            resumed.tail().p99_us().to_bits()
+        );
+        assert_eq!(
+            straight.tail().quantile_us(0.999).to_bits(),
+            resumed.tail().quantile_us(0.999).to_bits()
+        );
+    }
+
+    #[test]
+    fn wrong_run_index_is_rejected() {
+        let mut run = ResumableRun::new(quick_test(), 0);
+        run.step(10_000);
+        let bytes = run.checkpoint();
+        assert!(matches!(
+            ResumableRun::resume(quick_test(), 1, &bytes),
+            Err(SnapshotError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_rejected() {
+        let mut run = ResumableRun::new(quick_test(), 0);
+        run.step(10_000);
+        let bytes = run.checkpoint();
+        assert!(ResumableRun::resume(quick_test(), 0, &bytes[..bytes.len() - 7]).is_err());
+    }
+}

@@ -165,13 +165,24 @@ impl LoadTest {
     /// Executes run number `run_index` (a fresh server start — new
     /// hysteresis state — per the repeated-run procedure).
     pub fn run(&self, run_index: u64) -> LoadTestReport {
-        let run_seed = SeedStream::new(self.seed).derive("run", run_index);
-        self.run_seeded(run_seed)
+        self.run_seeded(self.derive_run_seed(run_index))
     }
 
-    /// Executes a run with an explicit cluster seed (used by
-    /// [`LoadTest::run_robust`] to draw fresh re-run seeds).
-    fn run_seeded(&self, run_seed: u64) -> LoadTestReport {
+    /// The cluster seed for run number `run_index`.
+    pub(crate) fn derive_run_seed(&self, run_index: u64) -> u64 {
+        SeedStream::new(self.seed).derive("run", run_index)
+    }
+
+    /// Builds the configured cluster engine for one run, without
+    /// executing it — the entry point for stepped/resumable execution.
+    /// `LoadTest::run_seeded` is exactly
+    /// `extract_result(build_cluster(seed) → run_to_completion)` fed
+    /// through [`LoadTest::report_from_result`], so a stepped run that
+    /// ends in the same engine state produces a bit-identical report.
+    pub(crate) fn build_cluster(
+        &self,
+        run_seed: u64,
+    ) -> treadmill_sim_core::Engine<treadmill_cluster::ClusterWorld> {
         let per_client_rate = self.target_rps / self.clients as f64;
         let mut builder = ClusterBuilder::new(Arc::clone(&self.workload))
             .hardware(self.hardware)
@@ -194,8 +205,21 @@ impl LoadTest {
                 )),
             );
         }
-        let result = builder.run();
+        builder.build()
+    }
 
+    /// Executes a run with an explicit cluster seed (used by
+    /// [`LoadTest::run_robust`] to draw fresh re-run seeds).
+    fn run_seeded(&self, run_seed: u64) -> LoadTestReport {
+        let mut engine = self.build_cluster(run_seed);
+        engine.run_to_completion();
+        self.report_from_result(treadmill_cluster::extract_result(engine))
+    }
+
+    /// Assembles the operator-facing report from a finished run. Pure
+    /// function of the [`RunResult`]: two bit-identical results yield
+    /// bit-identical reports.
+    pub(crate) fn report_from_result(&self, result: RunResult) -> LoadTestReport {
         let instance_config = InstanceConfig {
             phases: crate::phases::PhaseConfig { warmup: self.warmup },
             ..Default::default()

@@ -1,0 +1,678 @@
+//! Crash-tolerant sweep orchestration.
+//!
+//! A sweep executes `runs` repeated cells of one load-test
+//! configuration (fresh server start per cell, per the repeated-run
+//! procedure) and persists everything needed to survive a SIGKILL at
+//! any instant:
+//!
+//! * **manifest journal** — `manifest.jsonl` in the output directory
+//!   records one line per state transition (`pending` → `running` →
+//!   `done`), each carrying the cell's derived seed and the
+//!   configuration hash. Appends are fsynced; a line torn by a crash
+//!   mid-write is tolerated and ignored on replay.
+//! * **atomic artifacts** — every `.tsv` / `.ckpt` is written to a
+//!   `*.tmp` sibling, fsynced, then renamed into place, so a reader
+//!   (or a resumed sweep) never observes a half-written file.
+//! * **checkpoints** — each running cell snapshots its full state
+//!   (engine + streaming estimators, see
+//!   [`crate::resumable::ResumableRun`]) every `ckpt_events` events.
+//! * **resume** — [`SweepOptions::resume`] replays the journal, skips
+//!   cells already `done` (their artifacts are left untouched),
+//!   resumes the in-flight cell from its checkpoint, and runs the
+//!   rest. Because checkpointed resume is bit-identical, the final
+//!   artifacts are byte-for-byte the same as an uninterrupted sweep's.
+//!
+//! Each cell's quantiles are journaled as exact `f64` bit patterns, so
+//! `summary.tsv` rows for skipped cells reproduce without re-running.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+use treadmill_sim_core::fnv1a64;
+
+use crate::config::{ConfigError, LoadTestConfig};
+use crate::report::health_warnings;
+use crate::resumable::ResumableRun;
+use crate::runner::LoadTestReport;
+
+/// Knobs for [`run_sweep`].
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Cells (repeated runs) to execute.
+    pub runs: u64,
+    /// Events between checkpoints of the running cell. Smaller values
+    /// lose less work to a crash but cost more (a snapshot serialises
+    /// every completed record so far).
+    pub ckpt_events: u64,
+    /// Replay the journal and continue a crashed sweep instead of
+    /// starting fresh.
+    pub resume: bool,
+    /// Event-heap ceiling for the per-checkpoint invariant audit.
+    pub max_pending: usize,
+}
+
+/// The default checkpoint interval, sized so checkpointing costs a few
+/// percent of a typical cell (see the `perf_smoke` checkpoint stage).
+pub const DEFAULT_CKPT_EVENTS: u64 = 1_000_000;
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            runs: 6,
+            ckpt_events: DEFAULT_CKPT_EVENTS,
+            resume: false,
+            max_pending: 10_000_000,
+        }
+    }
+}
+
+/// What [`run_sweep`] did, for operator-facing summaries.
+#[derive(Debug, Clone, Default)]
+pub struct SweepOutcome {
+    /// Cells executed (fresh or resumed) this invocation.
+    pub executed: Vec<u64>,
+    /// Cells skipped because the journal already marks them done.
+    pub skipped: Vec<u64>,
+    /// The cell that was resumed from a checkpoint, if any.
+    pub resumed_cell: Option<u64>,
+    /// Warnings accumulated across cells (audit findings, health
+    /// checks, recovery notes).
+    pub warnings: Vec<String>,
+    /// Path of the sweep summary artifact.
+    pub summary_path: PathBuf,
+}
+
+/// Errors from sweep orchestration.
+#[derive(Debug)]
+pub enum SweepError {
+    /// Filesystem trouble.
+    Io(io::Error),
+    /// The configuration does not build.
+    Config(ConfigError),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Io(e) => write!(f, "sweep I/O error: {e}"),
+            SweepError::Config(e) => write!(f, "sweep configuration error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepError::Io(e) => Some(e),
+            SweepError::Config(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for SweepError {
+    fn from(e: io::Error) -> Self {
+        SweepError::Io(e)
+    }
+}
+
+impl From<ConfigError> for SweepError {
+    fn from(e: ConfigError) -> Self {
+        SweepError::Config(e)
+    }
+}
+
+/// One journal line: a cell state transition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ManifestLine {
+    cell: u64,
+    status: String,
+    seed: u64,
+    config_hash: String,
+    #[serde(default)]
+    result: Option<CellResult>,
+}
+
+/// A finished cell's headline numbers, journaled as exact bit patterns
+/// (`%016x` of [`f64::to_bits`]) so replay is bit-exact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CellResult {
+    samples: u64,
+    mean_bits: String,
+    p50_bits: String,
+    p90_bits: String,
+    p95_bits: String,
+    p99_bits: String,
+    p999_bits: String,
+}
+
+impl CellResult {
+    fn from_report(report: &LoadTestReport) -> Self {
+        let agg = &report.aggregated;
+        CellResult {
+            samples: agg.count,
+            mean_bits: bits(agg.mean),
+            p50_bits: bits(agg.p50),
+            p90_bits: bits(agg.p90),
+            p95_bits: bits(agg.p95),
+            p99_bits: bits(agg.p99),
+            p999_bits: bits(agg.p999),
+        }
+    }
+}
+
+fn bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn from_bits(s: &str) -> f64 {
+    u64::from_str_radix(s, 16).map_or(f64::NAN, f64::from_bits)
+}
+
+/// The journal replayed into per-cell knowledge.
+#[derive(Debug, Default)]
+struct Manifest {
+    done: std::collections::BTreeMap<u64, CellResult>,
+    running: std::collections::BTreeSet<u64>,
+}
+
+fn read_manifest(path: &Path, config_hash: &str) -> (Manifest, Vec<String>) {
+    let mut manifest = Manifest::default();
+    let mut warnings = Vec::new();
+    let Ok(contents) = fs::read_to_string(path) else {
+        return (manifest, warnings);
+    };
+    for line in contents.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        // A SIGKILL can tear the final line mid-write; skip anything
+        // that does not parse rather than refusing to resume.
+        let Ok(entry) = serde_json::from_str::<ManifestLine>(line) else {
+            warnings.push("manifest has a torn/unparseable line (ignored)".to_string());
+            continue;
+        };
+        if entry.config_hash != config_hash {
+            warnings.push(format!(
+                "manifest line for cell {} was journaled under config hash {} \
+                 (current {config_hash}); ignoring it",
+                entry.cell, entry.config_hash
+            ));
+            continue;
+        }
+        match entry.status.as_str() {
+            "done" => {
+                if let Some(result) = entry.result {
+                    manifest.running.remove(&entry.cell);
+                    manifest.done.insert(entry.cell, result);
+                }
+            }
+            "running" => {
+                manifest.running.insert(entry.cell);
+            }
+            _ => {}
+        }
+    }
+    (manifest, warnings)
+}
+
+/// Appends one journal line and fsyncs, so the transition survives a
+/// crash that happens right after it.
+fn append_journal(path: &Path, line: &ManifestLine) -> io::Result<()> {
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    let mut serialized =
+        serde_json::to_string(line).map_err(io::Error::other)?;
+    serialized.push('\n');
+    file.write_all(serialized.as_bytes())?;
+    file.sync_all()
+}
+
+/// Writes `contents` to `path` atomically: a `*.tmp` sibling in the
+/// same directory, fsync, rename, directory fsync. A crash at any
+/// point leaves either the old file or the new one, never a torn mix.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(contents)?;
+        file.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        // Persist the rename itself; without this a crash can forget
+        // the directory entry even though the data blocks are safe.
+        if let Ok(dir_handle) = File::open(dir) {
+            let _ = dir_handle.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// The `# seed=… config_hash=… version=…` provenance line every
+/// results artifact starts with.
+pub fn provenance_line(seed: u64, config_hash: &str) -> String {
+    format!(
+        "# seed={seed} config_hash={config_hash} version={}",
+        env!("CARGO_PKG_VERSION")
+    )
+}
+
+fn cell_tsv(cell: u64, seed: u64, config_hash: &str, report: &LoadTestReport) -> String {
+    let mut out = String::new();
+    out.push_str(&provenance_line(seed, config_hash));
+    out.push('\n');
+    out.push_str(&format!("# cell={cell}\n"));
+    out.push_str("scope\tsamples\tmean_us\tp50_us\tp90_us\tp95_us\tp99_us\tp999_us\n");
+    let agg = &report.aggregated;
+    out.push_str(&format!(
+        "aggregate\t{}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\n",
+        agg.count, agg.mean, agg.p50, agg.p90, agg.p95, agg.p99, agg.p999
+    ));
+    for (i, s) in report.per_instance.iter().enumerate() {
+        out.push_str(&format!(
+            "instance_{i}\t{}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\n",
+            s.count, s.mean, s.p50, s.p90, s.p95, s.p99, s.p999
+        ));
+    }
+    out
+}
+
+fn summary_tsv(
+    master_seed: u64,
+    config_hash: &str,
+    cells: &std::collections::BTreeMap<u64, (u64, CellResult)>,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&provenance_line(master_seed, config_hash));
+    out.push('\n');
+    out.push_str("cell\tseed\tsamples\tmean_us\tp50_us\tp90_us\tp95_us\tp99_us\tp999_us\n");
+    for (cell, (seed, r)) in cells {
+        out.push_str(&format!(
+            "{cell}\t{seed}\t{}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\n",
+            r.samples,
+            from_bits(&r.mean_bits),
+            from_bits(&r.p50_bits),
+            from_bits(&r.p90_bits),
+            from_bits(&r.p95_bits),
+            from_bits(&r.p99_bits),
+            from_bits(&r.p999_bits),
+        ));
+    }
+    out
+}
+
+fn ckpt_path(out_dir: &Path, cell: u64) -> PathBuf {
+    out_dir.join(format!("cell_{cell}.ckpt"))
+}
+
+/// Executes (or resumes) a sweep of `opts.runs` cells into `out_dir`.
+///
+/// # Errors
+///
+/// Returns [`SweepError::Config`] if the configuration does not build
+/// and [`SweepError::Io`] on filesystem trouble. A corrupt or missing
+/// checkpoint is *not* an error: the affected cell restarts from event
+/// zero (with a warning) and the sweep continues.
+pub fn run_sweep(
+    config: &LoadTestConfig,
+    out_dir: &Path,
+    opts: &SweepOptions,
+) -> Result<SweepOutcome, SweepError> {
+    let test = config.build()?;
+    let config_hash = format!("{:016x}", fnv1a64(config.to_json().as_bytes()));
+    fs::create_dir_all(out_dir)?;
+    let manifest_path = out_dir.join("manifest.jsonl");
+
+    let mut outcome = SweepOutcome {
+        summary_path: out_dir.join("summary.tsv"),
+        ..SweepOutcome::default()
+    };
+
+    let manifest = if opts.resume {
+        let (manifest, warnings) = read_manifest(&manifest_path, &config_hash);
+        outcome.warnings.extend(warnings);
+        manifest
+    } else {
+        // Fresh start: drop any previous journal and checkpoints so a
+        // stale `done` line cannot shadow the new configuration.
+        if manifest_path.exists() {
+            fs::remove_file(&manifest_path)?;
+        }
+        for cell in 0..opts.runs {
+            let _ = fs::remove_file(ckpt_path(out_dir, cell));
+        }
+        for cell in 0..opts.runs {
+            append_journal(
+                &manifest_path,
+                &ManifestLine {
+                    cell,
+                    status: "pending".to_string(),
+                    seed: test.derive_run_seed(cell),
+                    config_hash: config_hash.clone(),
+                    result: None,
+                },
+            )?;
+        }
+        Manifest::default()
+    };
+
+    let mut summary_cells: std::collections::BTreeMap<u64, (u64, CellResult)> = manifest
+        .done
+        .iter()
+        .map(|(&cell, result)| (cell, (test.derive_run_seed(cell), result.clone())))
+        .collect();
+
+    // Snapshot scratch buffer, recycled across every checkpoint of
+    // every cell — see `ResumableRun::checkpoint_into`.
+    let mut ckpt_buf = Vec::new();
+
+    for cell in 0..opts.runs {
+        let seed = test.derive_run_seed(cell);
+        if manifest.done.contains_key(&cell) {
+            outcome.skipped.push(cell);
+            continue;
+        }
+
+        let checkpoint_file = ckpt_path(out_dir, cell);
+        let mut run = None;
+        if opts.resume && manifest.running.contains(&cell) {
+            match fs::read(&checkpoint_file) {
+                Ok(bytes) => match ResumableRun::resume(test.clone(), cell, &bytes) {
+                    Ok(resumed) => {
+                        outcome.resumed_cell = Some(cell);
+                        outcome.warnings.push(format!(
+                            "cell {cell}: resumed from checkpoint at {} events",
+                            resumed.events_executed()
+                        ));
+                        run = Some(resumed);
+                    }
+                    Err(e) => outcome.warnings.push(format!(
+                        "cell {cell}: checkpoint unusable ({e}); restarting from event zero"
+                    )),
+                },
+                Err(_) => outcome.warnings.push(format!(
+                    "cell {cell}: was in flight but left no checkpoint; \
+                     restarting from event zero"
+                )),
+            }
+        }
+        let mut run = match run {
+            Some(run) => run,
+            None => {
+                append_journal(
+                    &manifest_path,
+                    &ManifestLine {
+                        cell,
+                        status: "running".to_string(),
+                        seed,
+                        config_hash: config_hash.clone(),
+                        result: None,
+                    },
+                )?;
+                ResumableRun::new(test.clone(), cell)
+            }
+        };
+
+        // The crash-tolerance loop: execute a batch, persist a
+        // checkpoint, audit. A SIGKILL between any two statements loses
+        // at most one batch of work.
+        while run.step(opts.ckpt_events) > 0 {
+            if run.is_finished() {
+                break;
+            }
+            run.checkpoint_into(&mut ckpt_buf);
+            write_atomic(&checkpoint_file, &ckpt_buf)?;
+            for finding in run.audit(opts.max_pending) {
+                outcome.warnings.push(format!("cell {cell}: auditor: {finding}"));
+            }
+        }
+
+        let report = run.finish();
+        for finding in &report.run.audit_findings {
+            outcome
+                .warnings
+                .push(format!("cell {cell}: auditor: {finding}"));
+        }
+        for warning in health_warnings(&report, config.target_rps) {
+            outcome.warnings.push(format!("cell {cell}: {warning}"));
+        }
+        let result = CellResult::from_report(&report);
+        write_atomic(
+            &out_dir.join(format!("cell_{cell}.tsv")),
+            cell_tsv(cell, seed, &config_hash, &report).as_bytes(),
+        )?;
+        append_journal(
+            &manifest_path,
+            &ManifestLine {
+                cell,
+                status: "done".to_string(),
+                seed,
+                config_hash: config_hash.clone(),
+                result: Some(result.clone()),
+            },
+        )?;
+        let _ = fs::remove_file(&checkpoint_file);
+        summary_cells.insert(cell, (seed, result));
+        outcome.executed.push(cell);
+    }
+
+    write_atomic(
+        &outcome.summary_path,
+        summary_tsv(config.seed, &config_hash, &summary_cells).as_bytes(),
+    )?;
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> LoadTestConfig {
+        LoadTestConfig::from_json(
+            r#"{
+                "workload": { "workload": "memcached" },
+                "target_rps": 120000,
+                "clients": 2,
+                "duration_ms": 60,
+                "warmup_ms": 15,
+                "seed": 5
+            }"#,
+        )
+        .expect("valid config")
+    }
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tml-sweep-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    }
+
+    fn opts(runs: u64) -> SweepOptions {
+        SweepOptions {
+            runs,
+            ckpt_events: 20_000,
+            ..SweepOptions::default()
+        }
+    }
+
+    #[test]
+    fn sweep_writes_all_artifacts() {
+        let dir = tempdir("basic");
+        let outcome = run_sweep(&small_config(), &dir, &opts(2)).expect("sweep");
+        assert_eq!(outcome.executed, vec![0, 1]);
+        assert!(outcome.skipped.is_empty());
+        for cell in 0..2 {
+            let text =
+                fs::read_to_string(dir.join(format!("cell_{cell}.tsv"))).expect("cell artifact");
+            assert!(text.starts_with("# seed="), "provenance header: {text}");
+            assert!(text.contains("config_hash="));
+            assert!(text.contains("aggregate\t"));
+            assert!(!dir.join(format!("cell_{cell}.ckpt")).exists());
+        }
+        let summary = fs::read_to_string(dir.join("summary.tsv")).expect("summary");
+        assert_eq!(summary.lines().count(), 2 + 2, "header lines + one row per cell");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_skips_done_cells_and_reproduces_summary() {
+        let golden_dir = tempdir("golden");
+        run_sweep(&small_config(), &golden_dir, &opts(3)).expect("golden sweep");
+
+        // Run one cell, then "crash" (stop), then resume for all three.
+        let dir = tempdir("resumed");
+        run_sweep(&small_config(), &dir, &opts(1)).expect("partial sweep");
+        let resumed_opts = SweepOptions {
+            resume: true,
+            ..opts(3)
+        };
+        let outcome = run_sweep(&small_config(), &dir, &resumed_opts).expect("resumed sweep");
+        assert_eq!(outcome.skipped, vec![0]);
+        assert_eq!(outcome.executed, vec![1, 2]);
+
+        for artifact in ["cell_0.tsv", "cell_1.tsv", "cell_2.tsv", "summary.tsv"] {
+            let golden = fs::read(golden_dir.join(artifact)).expect("golden artifact");
+            let resumed = fs::read(dir.join(artifact)).expect("resumed artifact");
+            assert_eq!(golden, resumed, "{artifact} differs after resume");
+        }
+        let _ = fs::remove_dir_all(&golden_dir);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_restores_in_flight_cell_from_checkpoint() {
+        let golden_dir = tempdir("golden-midcell");
+        run_sweep(&small_config(), &golden_dir, &opts(1)).expect("golden sweep");
+
+        // Hand-craft a crashed sweep: journal says cell 0 is running,
+        // and a mid-run checkpoint exists.
+        let dir = tempdir("midcell");
+        let config = small_config();
+        let test = config.build().expect("build");
+        let hash = format!("{:016x}", fnv1a64(config.to_json().as_bytes()));
+        append_journal(
+            &dir.join("manifest.jsonl"),
+            &ManifestLine {
+                cell: 0,
+                status: "running".to_string(),
+                seed: test.derive_run_seed(0),
+                config_hash: hash,
+                result: None,
+            },
+        )
+        .expect("journal");
+        let mut run = ResumableRun::new(test, 0);
+        run.step(30_000);
+        write_atomic(&ckpt_path(&dir, 0), &run.checkpoint()).expect("checkpoint");
+
+        let resumed_opts = SweepOptions {
+            resume: true,
+            ..opts(1)
+        };
+        let outcome = run_sweep(&config, &dir, &resumed_opts).expect("resumed sweep");
+        assert_eq!(outcome.resumed_cell, Some(0));
+        for artifact in ["cell_0.tsv", "summary.tsv"] {
+            let golden = fs::read(golden_dir.join(artifact)).expect("golden artifact");
+            let resumed = fs::read(dir.join(artifact)).expect("resumed artifact");
+            assert_eq!(golden, resumed, "{artifact} differs after mid-cell resume");
+        }
+        let _ = fs::remove_dir_all(&golden_dir);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_journal_line_is_tolerated() {
+        let dir = tempdir("torn");
+        run_sweep(&small_config(), &dir, &opts(1)).expect("sweep");
+        // Append a torn (truncated) line, as a SIGKILL mid-append would.
+        let mut file = OpenOptions::new()
+            .append(true)
+            .open(dir.join("manifest.jsonl"))
+            .expect("open journal");
+        file.write_all(b"{\"cell\":1,\"status\":\"run").expect("tear");
+        drop(file);
+
+        let resumed_opts = SweepOptions {
+            resume: true,
+            ..opts(2)
+        };
+        let outcome = run_sweep(&small_config(), &dir, &resumed_opts).expect("resumed");
+        assert_eq!(outcome.skipped, vec![0]);
+        assert_eq!(outcome.executed, vec![1]);
+        assert!(outcome
+            .warnings
+            .iter()
+            .any(|w| w.contains("torn/unparseable")));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_restarts_the_cell() {
+        let golden_dir = tempdir("golden-corrupt");
+        run_sweep(&small_config(), &golden_dir, &opts(1)).expect("golden sweep");
+
+        let dir = tempdir("corrupt");
+        let config = small_config();
+        let test = config.build().expect("build");
+        let hash = format!("{:016x}", fnv1a64(config.to_json().as_bytes()));
+        append_journal(
+            &dir.join("manifest.jsonl"),
+            &ManifestLine {
+                cell: 0,
+                status: "running".to_string(),
+                seed: test.derive_run_seed(0),
+                config_hash: hash,
+                result: None,
+            },
+        )
+        .expect("journal");
+        fs::write(ckpt_path(&dir, 0), b"not a checkpoint").expect("corrupt ckpt");
+
+        let resumed_opts = SweepOptions {
+            resume: true,
+            ..opts(1)
+        };
+        let outcome = run_sweep(&config, &dir, &resumed_opts).expect("resumed");
+        assert_eq!(outcome.resumed_cell, None);
+        assert!(outcome.warnings.iter().any(|w| w.contains("unusable")));
+        assert_eq!(
+            fs::read(golden_dir.join("cell_0.tsv")).expect("golden"),
+            fs::read(dir.join("cell_0.tsv")).expect("restarted"),
+            "restarted cell must still be bit-identical"
+        );
+        let _ = fs::remove_dir_all(&golden_dir);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_change_invalidates_old_journal() {
+        let dir = tempdir("confchange");
+        run_sweep(&small_config(), &dir, &opts(1)).expect("sweep");
+        let mut changed = small_config();
+        changed.target_rps = 90_000.0;
+        let resumed_opts = SweepOptions {
+            resume: true,
+            ..opts(1)
+        };
+        let outcome = run_sweep(&changed, &dir, &resumed_opts).expect("resumed");
+        // The old done line is for a different config hash: re-run.
+        assert_eq!(outcome.executed, vec![0]);
+        assert!(outcome.skipped.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_tmp_behind() {
+        let dir = tempdir("atomic");
+        let path = dir.join("results.tsv");
+        write_atomic(&path, b"# seed=1 config_hash=x version=0\ndata\n").expect("write");
+        assert!(path.exists());
+        assert!(!dir.join("results.tsv.tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

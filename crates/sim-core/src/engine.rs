@@ -154,6 +154,37 @@ impl<W: World> Engine<W> {
         count
     }
 
+    /// The clock state a checkpoint must capture: the current instant
+    /// and the lifetime event count.
+    pub fn clock_state(&self) -> (SimTime, u64) {
+        (self.now, self.executed)
+    }
+
+    /// Restores clock state captured by [`Engine::clock_state`], for
+    /// resuming a checkpointed run on a freshly rebuilt engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the restore would move the clock backwards — a resumed
+    /// engine must only ever be fast-forwarded.
+    pub fn restore_clock_state(&mut self, now: SimTime, executed: u64) {
+        assert!(now >= self.now, "clock restore cannot rewind time");
+        self.now = now;
+        self.executed = executed;
+    }
+
+    /// Shared access to the event queue, for checkpointing.
+    pub fn queue(&self) -> &EventQueue<W::Event> {
+        &self.queue
+    }
+
+    /// Exclusive access to the event queue, for restoring a checkpoint.
+    /// Library code other than checkpoint restore should schedule
+    /// through [`Engine::schedule`] so the past-check applies.
+    pub fn queue_mut(&mut self) -> &mut EventQueue<W::Event> {
+        &mut self.queue
+    }
+
     /// True if no events are pending.
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty()

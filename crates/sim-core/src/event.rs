@@ -165,6 +165,38 @@ impl<E> EventQueue<E> {
         self.events.reserve(additional);
     }
 
+    /// The raw heap slots for checkpointing: packed keys, parallel
+    /// payloads and the schedule counter, in verbatim slot order.
+    ///
+    /// Restoring via [`EventQueue::restore_slots`] reproduces the exact
+    /// internal layout, so the pop sequence — including FIFO tie-breaks
+    /// and every subsequent sift — continues bit-identically to the
+    /// snapshotted queue.
+    pub fn snapshot_slots(&self) -> (&[u128], &[E], u64) {
+        (&self.keys, &self.events, self.next_seq)
+    }
+
+    /// Overwrites this queue with raw slots captured by
+    /// [`EventQueue::snapshot_slots`]. The slices must be restored
+    /// verbatim (same order), not re-sorted: the heap property is a
+    /// function of the insertion history that produced them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keys` and `events` differ in length, or if `next_seq`
+    /// is not beyond every restored sequence number — either would
+    /// corrupt the queue's determinism contract.
+    pub fn restore_slots(&mut self, keys: Vec<u128>, events: Vec<E>, next_seq: u64) {
+        assert_eq!(keys.len(), events.len(), "keys and events stay parallel");
+        assert!(
+            keys.iter().all(|&k| (k & u128::from(u64::MAX)) < u128::from(next_seq)),
+            "next_seq must exceed every restored sequence number"
+        );
+        self.keys = keys;
+        self.events = events;
+        self.next_seq = next_seq;
+    }
+
     // Both sifts move the travelling key through a "hole" — one store
     // per level instead of a three-move swap — and cache the keys they
     // compare so each level does the minimum number of `u128` loads.
@@ -319,6 +351,46 @@ mod tests {
             popped.push((t << 32) | i);
         }
         assert_eq!(popped, expect);
+    }
+
+    #[test]
+    fn restored_slots_pop_identically() {
+        // Build a queue with collisions mid-flight, snapshot it, and
+        // check the restored queue's pop sequence (and the sequence
+        // numbers of later schedules) match the original exactly.
+        let mut q = EventQueue::new();
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        for i in 0..500u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            q.schedule(SimTime::from_nanos(x % 64), i);
+        }
+        for _ in 0..123 {
+            q.pop();
+        }
+        let (keys, events, next_seq) = q.snapshot_slots();
+        let mut restored = EventQueue::new();
+        restored.restore_slots(keys.to_vec(), events.to_vec(), next_seq);
+        // Interleave further schedules with pops on both queues.
+        for i in 0..50u64 {
+            q.schedule(SimTime::from_nanos(i % 8), 1_000 + i);
+            restored.schedule(SimTime::from_nanos(i % 8), 1_000 + i);
+        }
+        loop {
+            match (q.pop(), restored.pop()) {
+                (None, None) => break,
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+        assert_eq!(q.scheduled_total(), restored.scheduled_total());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel")]
+    fn restore_slots_rejects_length_mismatch() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        q.restore_slots(vec![0u128], vec![], 1);
     }
 
     #[test]

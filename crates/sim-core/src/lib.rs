@@ -60,12 +60,14 @@ mod engine;
 mod event;
 mod queue;
 mod rng;
+pub mod snapshot;
 mod time;
 mod util;
 
 pub use engine::{Engine, World};
 pub use event::{EventQueue, ScheduledEvent};
-pub use queue::{QueueOutcome, RateQueue};
+pub use queue::{QueueOutcome, RateQueue, RateQueueState};
 pub use rng::{splitmix64, SeedStream};
+pub use snapshot::{fnv1a64, SnapshotError, SnapshotReader, SnapshotWriter};
 pub use time::{SimDuration, SimTime};
-pub use util::UtilizationTracker;
+pub use util::{UtilizationState, UtilizationTracker};

@@ -153,6 +153,43 @@ impl RateQueue {
         self.jobs = 0;
         self.total_queueing = SimDuration::ZERO;
     }
+
+    /// The mutable state a checkpoint must capture (the name is
+    /// configuration and survives a rebuild).
+    pub fn state(&self) -> RateQueueState {
+        RateQueueState {
+            free_at: self.free_at,
+            busy: self.busy,
+            jobs: self.jobs,
+            total_queueing: self.total_queueing,
+            last_arrival: self.last_arrival,
+        }
+    }
+
+    /// Overwrites the mutable state with a checkpointed
+    /// [`RateQueueState`].
+    pub fn restore_state(&mut self, state: RateQueueState) {
+        self.free_at = state.free_at;
+        self.busy = state.busy;
+        self.jobs = state.jobs;
+        self.total_queueing = state.total_queueing;
+        self.last_arrival = state.last_arrival;
+    }
+}
+
+/// A [`RateQueue`]'s mutable state, captured for checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateQueueState {
+    /// When the server next becomes idle.
+    pub free_at: SimTime,
+    /// Cumulative busy time.
+    pub busy: SimDuration,
+    /// Jobs served.
+    pub jobs: u64,
+    /// Cumulative queueing time.
+    pub total_queueing: SimDuration,
+    /// Most recent arrival instant (monotonicity guard).
+    pub last_arrival: SimTime,
 }
 
 #[cfg(test)]

@@ -71,6 +71,33 @@ impl UtilizationTracker {
         self.window_start = now;
         self.window_busy = SimDuration::ZERO;
     }
+
+    /// The tracker's full state, captured for checkpointing.
+    pub fn state(&self) -> UtilizationState {
+        UtilizationState {
+            busy_total: self.busy_total,
+            window_start: self.window_start,
+            window_busy: self.window_busy,
+        }
+    }
+
+    /// Overwrites the tracker with a checkpointed [`UtilizationState`].
+    pub fn restore_state(&mut self, state: UtilizationState) {
+        self.busy_total = state.busy_total;
+        self.window_start = state.window_start;
+        self.window_busy = state.window_busy;
+    }
+}
+
+/// A [`UtilizationTracker`]'s state, captured for checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UtilizationState {
+    /// Cumulative busy time.
+    pub busy_total: SimDuration,
+    /// Start of the current sampling window.
+    pub window_start: SimTime,
+    /// Busy time inside the current window.
+    pub window_busy: SimDuration,
 }
 
 #[cfg(test)]

@@ -50,7 +50,7 @@ pub mod streaming;
 pub mod summary;
 
 pub use histogram::{AdaptiveHistogram, HistogramConfig, StaticHistogram};
-pub use loghist::LogHistogram;
-pub use p2::P2Quantile;
-pub use streaming::StreamingStats;
+pub use loghist::{LogHistogram, LogHistogramState};
+pub use p2::{P2Quantile, P2State};
+pub use streaming::{StreamingState, StreamingStats};
 pub use summary::LatencySummary;

@@ -141,6 +141,46 @@ impl LogHistogram {
         self.max_seen
     }
 
+    /// Captures the full histogram state for checkpointing. Geometry
+    /// and counters round-trip bit-exactly through
+    /// [`LogHistogram::from_state`].
+    pub fn state(&self) -> LogHistogramState {
+        LogHistogramState {
+            min: self.min,
+            log_min: self.log_min,
+            log_ratio: self.log_ratio,
+            counts: self.counts.clone(),
+            underflow: self.underflow,
+            overflow: self.overflow,
+            total: self.total,
+            sum: self.sum,
+            max_seen: self.max_seen,
+        }
+    }
+
+    /// Rebuilds a histogram from a checkpointed
+    /// [`LogHistogramState`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical geometry (`min <= 0` or a non-positive
+    /// bucket ratio).
+    pub fn from_state(state: LogHistogramState) -> Self {
+        assert!(state.min > 0.0, "log histogram needs a positive minimum");
+        assert!(state.log_ratio > 0.0, "bucket ratio must be positive");
+        LogHistogram {
+            min: state.min,
+            log_min: state.log_min,
+            log_ratio: state.log_ratio,
+            counts: state.counts,
+            underflow: state.underflow,
+            overflow: state.overflow,
+            total: state.total,
+            sum: state.sum,
+            max_seen: state.max_seen,
+        }
+    }
+
     /// Merges another histogram with identical geometry.
     ///
     /// # Panics
@@ -160,6 +200,29 @@ impl LogHistogram {
     }
 }
 
+/// A [`LogHistogram`]'s full state, captured for checkpointing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogramState {
+    /// Lower bound of the covered range.
+    pub min: f64,
+    /// `ln(min)`, cached.
+    pub log_min: f64,
+    /// `ln(1 + precision)`, cached.
+    pub log_ratio: f64,
+    /// Per-bucket counts.
+    pub counts: Vec<u64>,
+    /// Values below the range.
+    pub underflow: u64,
+    /// Values above the range.
+    pub overflow: u64,
+    /// Total recorded values.
+    pub total: u64,
+    /// Running sum (for the exact mean).
+    pub sum: f64,
+    /// Largest value observed.
+    pub max_seen: f64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +230,30 @@ mod tests {
     use proptest::prelude::*;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn state_round_trip_is_bit_identical() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut original = LogHistogram::new(1.0, 1e6, 0.01);
+        for _ in 0..10_000 {
+            original.record(5.0 + sample_exponential(&mut rng, 120.0));
+        }
+        let mut resumed = LogHistogram::from_state(original.state());
+        for _ in 0..10_000 {
+            let v = 5.0 + sample_exponential(&mut rng, 120.0);
+            original.record(v);
+            resumed.record(v);
+        }
+        assert_eq!(original.count(), resumed.count());
+        assert_eq!(original.mean().to_bits(), resumed.mean().to_bits());
+        for &p in &[0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(
+                original.quantile(p).to_bits(),
+                resumed.quantile(p).to_bits(),
+                "p{p} drifted after restore"
+            );
+        }
+    }
 
     #[test]
     fn relative_error_is_bounded() {

@@ -33,6 +33,25 @@ pub struct P2Quantile {
     initial: Vec<f64>,
 }
 
+/// A [`P2Quantile`]'s full state, captured for checkpointing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct P2State {
+    /// Target probability.
+    pub p: f64,
+    /// Marker heights.
+    pub heights: [f64; 5],
+    /// Marker positions.
+    pub positions: [f64; 5],
+    /// Desired marker positions.
+    pub desired: [f64; 5],
+    /// Per-sample desired-position increments.
+    pub increments: [f64; 5],
+    /// Samples observed.
+    pub count: usize,
+    /// Warm-up samples (fewer than five seen so far).
+    pub initial: Vec<f64>,
+}
+
 impl P2Quantile {
     /// Creates an estimator for the `p`-quantile.
     ///
@@ -136,6 +155,46 @@ impl P2Quantile {
                 / (self.positions[j] - self.positions[i])
     }
 
+    /// Captures the full estimator state for checkpointing. Feeding the
+    /// result to [`P2Quantile::from_state`] yields an estimator whose
+    /// every subsequent [`P2Quantile::record`] and estimate is
+    /// bit-identical to this one's.
+    pub fn state(&self) -> P2State {
+        P2State {
+            p: self.p,
+            heights: self.heights,
+            positions: self.positions,
+            desired: self.desired,
+            increments: self.increments,
+            count: self.count,
+            initial: self.initial.clone(),
+        }
+    }
+
+    /// Rebuilds an estimator from a checkpointed [`P2State`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is internally inconsistent (probability out
+    /// of range or more than five warm-up samples).
+    pub fn from_state(state: P2State) -> Self {
+        assert!(
+            state.p > 0.0 && state.p < 1.0,
+            "quantile probability {} outside (0, 1)",
+            state.p
+        );
+        assert!(state.initial.len() <= 5, "more than five warm-up samples");
+        P2Quantile {
+            p: state.p,
+            heights: state.heights,
+            positions: state.positions,
+            desired: state.desired,
+            increments: state.increments,
+            count: state.count,
+            initial: state.initial,
+        }
+    }
+
     /// The current quantile estimate.
     ///
     /// # Panics
@@ -210,6 +269,31 @@ mod tests {
         let a = p2.estimate();
         let b = hist.quantile(0.95);
         assert!((a / b - 1.0).abs() < 0.05, "p2 {a} vs histogram {b}");
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_identical() {
+        // Snapshot mid-stream (after warm-up) and mid-warm-up; both
+        // resumed estimators must track the original bit-for-bit.
+        for cut in [3usize, 5_000] {
+            let mut rng = SmallRng::seed_from_u64(9);
+            let mut original = P2Quantile::new(0.95);
+            for _ in 0..cut {
+                original.record(sample_exponential(&mut rng, 50.0));
+            }
+            let mut resumed = P2Quantile::from_state(original.state());
+            for _ in 0..5_000 {
+                let v = sample_exponential(&mut rng, 50.0);
+                original.record(v);
+                resumed.record(v);
+            }
+            assert_eq!(
+                original.estimate().to_bits(),
+                resumed.estimate().to_bits(),
+                "divergence after cut at {cut}"
+            );
+            assert_eq!(original.count(), resumed.count());
+        }
     }
 
     #[test]

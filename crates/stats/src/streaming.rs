@@ -100,6 +100,31 @@ impl StreamingStats {
         self.max
     }
 
+    /// Captures the full accumulator state for checkpointing. Feeding
+    /// the result to [`StreamingStats::from_state`] yields an
+    /// accumulator whose every subsequent [`StreamingStats::record`]
+    /// and statistic is bit-identical to this one's.
+    pub fn state(&self) -> StreamingState {
+        StreamingState {
+            count: self.count,
+            mean: self.mean,
+            m2: self.m2,
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Rebuilds an accumulator from a checkpointed [`StreamingState`].
+    pub fn from_state(state: StreamingState) -> Self {
+        StreamingStats {
+            count: state.count,
+            mean: state.mean,
+            m2: state.m2,
+            min: state.min,
+            max: state.max,
+        }
+    }
+
     /// Merges another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &StreamingStats) {
         if other.count == 0 {
@@ -119,6 +144,22 @@ impl StreamingStats {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+}
+
+/// A [`StreamingStats`] accumulator's full state, captured for
+/// checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingState {
+    /// Number of observations.
+    pub count: u64,
+    /// Running mean.
+    pub mean: f64,
+    /// Sum of squared deviations (Welford's M2).
+    pub m2: f64,
+    /// Smallest observation, `+inf` if empty.
+    pub min: f64,
+    /// Largest observation, `-inf` if empty.
+    pub max: f64,
 }
 
 impl FromIterator<f64> for StreamingStats {
@@ -185,6 +226,26 @@ mod tests {
         let mut empty = StreamingStats::new();
         empty.merge(&before);
         assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_identical() {
+        let mut original = StreamingStats::new();
+        for i in 0..7_777 {
+            original.record((f64::from(i) * 0.31).sin() * 40.0 + 3.0);
+        }
+        let mut resumed = StreamingStats::from_state(original.state());
+        assert_eq!(original, resumed);
+        for i in 0..7_777 {
+            let v = (f64::from(i) * 0.77).cos() * 12.0 - 1.0;
+            original.record(v);
+            resumed.record(v);
+        }
+        assert_eq!(original.count(), resumed.count());
+        assert_eq!(original.mean().to_bits(), resumed.mean().to_bits());
+        assert_eq!(original.m2.to_bits(), resumed.m2.to_bits());
+        assert_eq!(original.min().to_bits(), resumed.min().to_bits());
+        assert_eq!(original.max().to_bits(), resumed.max().to_bits());
     }
 
     #[test]

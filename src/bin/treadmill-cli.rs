@@ -5,6 +5,13 @@
 //!     Run a JSON-configured load test with the repeated-run procedure
 //!     and print per-run and aggregated summaries.
 //!
+//! treadmill-cli sweep <config.json> --out DIR [--runs N] [--seed S] [--resume] [--ckpt-events K]
+//!     Crash-tolerant repeated-run sweep: journals per-cell status to
+//!     DIR/manifest.jsonl, checkpoints the running cell every K events,
+//!     and writes atomic TSV artifacts. --resume skips done cells and
+//!     resumes the in-flight one from its checkpoint, producing
+//!     byte-identical artifacts to an uninterrupted sweep.
+//!
 //! treadmill-cli attribute <memcached|mcrouter> [--rps R] [--runs N] [--seed S]
 //!     Run the 2^4 factorial campaign, print the Table IV-style
 //!     coefficient table at p50/p95/p99 and the recommended config.
@@ -22,7 +29,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use treadmill::cluster::HardwareConfig;
-use treadmill::core::{run_until_converged, ExperimentOptions, LoadTestConfig};
+use treadmill::core::{
+    run_sweep, run_until_converged, ExperimentOptions, LoadTestConfig, SweepOptions,
+};
 use treadmill::inference::{
     attribute, collect, screen_factors, CollectionPlan, ScreeningOptions,
     TABLE_IV_PERCENTILES,
@@ -36,6 +45,9 @@ struct Flags {
     runs: usize,
     rps: f64,
     seed: u64,
+    out: Option<String>,
+    resume: bool,
+    ckpt_events: Option<u64>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -44,6 +56,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         runs: 6,
         rps: 700_000.0,
         seed: 2016,
+        out: None,
+        resume: false,
+        ckpt_events: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -69,6 +84,20 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--out" => {
+                flags.out = Some(iter.next().ok_or("--out needs a directory")?.clone());
+            }
+            "--resume" => {
+                flags.resume = true;
+            }
+            "--ckpt-events" => {
+                flags.ckpt_events = Some(
+                    iter.next()
+                        .ok_or("--ckpt-events needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--ckpt-events: {e}"))?,
+                );
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
             }
@@ -80,6 +109,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
 
 fn usage() -> &'static str {
     "usage:\n  treadmill-cli run <config.json> [--runs N] [--seed S]\n  \
+     treadmill-cli sweep <config.json> --out DIR [--runs N] [--seed S] [--resume] [--ckpt-events K]\n  \
      treadmill-cli attribute <memcached|mcrouter> [--rps R] [--runs N] [--seed S]\n  \
      treadmill-cli compare <config.json> <cfgA 0-15> <cfgB 0-15> [--runs N]\n  \
      treadmill-cli screen <memcached|mcrouter> [--rps R] [--runs N] [--seed S]"
@@ -101,6 +131,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "run" => cmd_run(&flags),
+        "sweep" => cmd_sweep(&flags),
         "attribute" => cmd_attribute(&flags),
         "compare" => cmd_compare(&flags),
         "screen" => cmd_screen(&flags),
@@ -161,6 +192,45 @@ fn cmd_run(flags: &Flags) -> Result<(), String> {
     // Full report (incl. pitfall health checks) for the last run.
     let last = test.run(outcome.num_runs() as u64 - 1);
     print!("{}", treadmill::core::render_report(&last, config.target_rps));
+    Ok(())
+}
+
+fn cmd_sweep(flags: &Flags) -> Result<(), String> {
+    let path = flags
+        .positional
+        .first()
+        .ok_or("sweep needs a config file path")?;
+    let out = flags.out.as_ref().ok_or("sweep needs --out DIR")?;
+    let mut config = load_config(path)?;
+    config.seed = flags.seed;
+    let mut opts = SweepOptions {
+        runs: flags.runs as u64,
+        resume: flags.resume,
+        ..SweepOptions::default()
+    };
+    if let Some(k) = flags.ckpt_events {
+        opts.ckpt_events = k;
+    }
+    println!(
+        "{} sweep of {} cells at {} RPS into {out} (checkpoint every {} events) ...",
+        if flags.resume { "resuming" } else { "starting" },
+        opts.runs,
+        config.target_rps,
+        opts.ckpt_events
+    );
+    let outcome =
+        run_sweep(&config, std::path::Path::new(out), &opts).map_err(|e| e.to_string())?;
+    if let Some(cell) = outcome.resumed_cell {
+        println!("  resumed cell {cell} from its checkpoint");
+    }
+    if !outcome.skipped.is_empty() {
+        println!("  skipped {} already-done cells", outcome.skipped.len());
+    }
+    println!("  executed {} cells", outcome.executed.len());
+    for warning in &outcome.warnings {
+        println!("  note: {warning}");
+    }
+    println!("summary: {}", outcome.summary_path.display());
     Ok(())
 }
 

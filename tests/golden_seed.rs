@@ -79,6 +79,32 @@ fn zero_fault_config_keeps_the_golden_bits() {
 }
 
 #[test]
+fn checkpoint_resume_reproduces_the_golden_bits() {
+    use treadmill::core::ResumableRun;
+    // Kill-and-resume must land on the exact pinned bits: step partway,
+    // snapshot, abandon the engine ("crash"), restore onto a freshly
+    // built engine, finish. Any state the snapshot misses — an RNG
+    // stream position, a queue tie-break, a fault cursor — shows up
+    // here as a drifted bit.
+    let bytes = {
+        let mut run = ResumableRun::new(golden_test(), 0);
+        run.step(123_456);
+        run.checkpoint()
+    };
+    let mut resumed = ResumableRun::resume(golden_test(), 0, &bytes).unwrap();
+    while resumed.step(50_000) > 0 {}
+    let report = resumed.finish();
+    let agg = &report.aggregated;
+    assert_eq!(agg.p50.to_bits(), 0x404dd74f1448d80b);
+    assert_eq!(agg.p99.to_bits(), 0x4061dba25512ec6a);
+    assert_eq!(agg.max.to_bits(), 0x40768db645a1cac1);
+    assert_eq!(agg.count, 22_378);
+    assert_eq!(report.run.total_responses(), 29_839);
+    assert_eq!(report.run.events_executed, 298_547);
+    assert!(report.run.audit_findings.is_empty());
+}
+
+#[test]
 fn distinct_run_indices_stay_distinct() {
     let test = golden_test();
     let a = test.run(0);
