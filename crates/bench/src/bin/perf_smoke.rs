@@ -1,4 +1,4 @@
-//! Performance smoke test: times the four hot-path layers and writes
+//! Performance smoke test: times the six hot-path layers and writes
 //! `BENCH_treadmill.json` so the perf trajectory is tracked per commit.
 //!
 //! Stages (one per optimized layer):
@@ -14,7 +14,18 @@
 //!    checkpointing ≤5% of the stage-2 wall) and reproduces the plain
 //!    run's bits;
 //! 4. `collect_tiny` — a reduced factorial `collect()`, exercising the
-//!    parallel experiment layer and the O(k) subsampler.
+//!    parallel experiment layer and the O(k) subsampler;
+//! 5. `engine_events_sharded` — a multi-server world on the sharded
+//!    parallel executor, run once at 1 worker thread and once at the
+//!    host's hardware parallelism; the event counts must match (the
+//!    determinism guarantee) and the wall-clock ratio is reported as
+//!    `speedup_vs_1`;
+//! 6. `million_world` — the scale stage: at full scale a 100-server,
+//!    one-million-connection cluster (100 shards × 8 clients × 1250
+//!    connections) advanced by the windowed executor.
+//!
+//! Every benchmark entry records the worker `threads` and world
+//! `shards` it ran with (schema 2).
 //!
 //! Usage: `perf_smoke [--check] [--out PATH] [--seed N]`
 //!
@@ -187,7 +198,37 @@ fn bench_collect(seed: u64, runs_per_config: usize, duration_ms: u64) -> (usize,
     (dataset.total_samples(), wall)
 }
 
-fn stage(name: &str, unit: &str, items: u64, wall_secs: f64) -> Value {
+/// Builds a sharded multi-server load test for the parallel stages.
+fn sharded_world(
+    seed: u64,
+    servers: u32,
+    clients: usize,
+    connections: u32,
+    rps: f64,
+    duration_ms: u64,
+    threads: u32,
+) -> LoadTest {
+    LoadTest::new(Arc::new(Memcached::default()), rps)
+        .clients(clients)
+        .connections_per_client(connections)
+        .duration(SimDuration::from_millis(duration_ms))
+        .warmup(SimDuration::from_millis(duration_ms / 4))
+        .seed(seed)
+        .servers(servers)
+        .remote_every(4)
+        .threads(threads)
+}
+
+/// Runs one sharded test, returning (events, responses, wall seconds).
+fn bench_sharded(test: &LoadTest) -> (u64, usize, f64) {
+    // tml-lint: allow(DET002, wall-clock timing of a seeded deterministic sharded run; informational perf numbers only)
+    let start = Instant::now();
+    let report = test.run(0);
+    let wall = start.elapsed().as_secs_f64();
+    (report.run.events_executed, report.run.total_responses(), wall)
+}
+
+fn stage(name: &str, unit: &str, items: u64, wall_secs: f64, threads: u64, shards: u64) -> Value {
     let mut obj = Map::new();
     obj.insert("name".to_string(), Value::String(name.to_string()));
     obj.insert("unit".to_string(), Value::String(unit.to_string()));
@@ -197,8 +238,10 @@ fn stage(name: &str, unit: &str, items: u64, wall_secs: f64) -> Value {
         "items_per_sec".to_string(),
         Value::Float(items as f64 / wall_secs),
     );
+    obj.insert("threads".to_string(), Value::UInt(threads));
+    obj.insert("shards".to_string(), Value::UInt(shards));
     println!(
-        "{name}: {items} {unit} in {:.1} ms ({:.0} {unit}/s)",
+        "{name}: {items} {unit} in {:.1} ms ({:.0} {unit}/s, {threads} threads, {shards} shards)",
         wall_secs * 1e3,
         items as f64 / wall_secs
     );
@@ -235,7 +278,7 @@ fn main() {
     let reps = if check { 1 } else { 5 };
 
     let (events, engine_wall) = bench_engine(chains, hops);
-    let engine_stage = stage("engine_events", "events", events, engine_wall);
+    let engine_stage = stage("engine_events", "events", events, engine_wall, 1, 1);
 
     // Full mode measures the production default interval; check mode's
     // tiny run has fewer events than the default, so it shrinks the
@@ -251,10 +294,19 @@ fn main() {
         "responses",
         pair.responses as u64,
         pair.run_wall,
+        1,
+        1,
     );
 
     let overhead_pct = pair.ckpt_secs / pair.run_wall * 100.0;
-    let mut ckpt_stage = stage("checkpointed_run", "checkpoints", pair.ckpts, pair.ckpt_wall);
+    let mut ckpt_stage = stage(
+        "checkpointed_run",
+        "checkpoints",
+        pair.ckpts,
+        pair.ckpt_wall,
+        1,
+        1,
+    );
     if let Value::Object(obj) = &mut ckpt_stage {
         obj.insert("overhead_pct".to_string(), Value::Float(overhead_pct));
         obj.insert(
@@ -281,10 +333,93 @@ fn main() {
     );
 
     let (samples, collect_wall) = bench_collect(seed, collect_runs, collect_ms);
-    let collect_stage = stage("collect_tiny", "samples", samples as u64, collect_wall);
+    let collect_stage = stage("collect_tiny", "samples", samples as u64, collect_wall, 1, 1);
+
+    // Stage 5: the sharded parallel executor. The same seeded world
+    // runs at 1 worker and at the host's hardware parallelism; events
+    // must match exactly (determinism) and the wall ratio is the
+    // measured speedup. On a single-core host the ratio is honestly ~1.
+    let hw_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let hw_threads = u32::try_from(hw_threads).unwrap_or(u32::MAX);
+    let (sh_servers, sh_ms) = if check { (4u32, 30u64) } else { (8, 120) };
+    let sh_threads = hw_threads.min(sh_servers);
+    let (ev_1, _, wall_1) = bench_sharded(&sharded_world(seed, sh_servers, 4, 16, 150_000.0, sh_ms, 1));
+    let (ev_n, _, wall_n) = bench_sharded(&sharded_world(
+        seed, sh_servers, 4, 16, 150_000.0, sh_ms, sh_threads,
+    ));
+    assert_eq!(ev_1, ev_n, "thread count changed the executed event count");
+    let mut sharded_stage = stage(
+        "engine_events_sharded",
+        "events",
+        ev_n,
+        wall_n,
+        u64::from(sh_threads),
+        u64::from(sh_servers),
+    );
+    let speedup = wall_1 / wall_n;
+    // One-shard tax: the windowless sharded executor wrapping a single
+    // world must cost ≈ nothing over the legacy engine. Best-of-3 on
+    // each path; the same seed produces the same events either way.
+    let solo = sharded_world(seed, 1, 4, 16, 150_000.0, sh_ms, 1);
+    let mut legacy_wall = f64::INFINITY;
+    let mut solo_wall = f64::INFINITY;
+    for _ in 0..3 {
+        // tml-lint: allow(DET002, wall-clock timing of seeded runs for the one-shard overhead figure; informational only)
+        let t = Instant::now();
+        let legacy = solo.run(0);
+        legacy_wall = legacy_wall.min(t.elapsed().as_secs_f64());
+        // tml-lint: allow(DET002, wall-clock timing of seeded runs for the one-shard overhead figure; informational only)
+        let t = Instant::now();
+        let forced = solo.run_sharded(0);
+        solo_wall = solo_wall.min(t.elapsed().as_secs_f64());
+        assert_eq!(
+            forced.run.events_executed, legacy.run.events_executed,
+            "one-shard sharded run diverged from the legacy engine"
+        );
+    }
+    let solo_overhead_pct = (solo_wall / legacy_wall - 1.0) * 100.0;
+    if let Value::Object(obj) = &mut sharded_stage {
+        obj.insert("speedup_vs_1".to_string(), Value::Float(speedup));
+        obj.insert("wall_1thread_ms".to_string(), Value::Float(wall_1 * 1e3));
+        obj.insert(
+            "one_shard_overhead_pct".to_string(),
+            Value::Float(solo_overhead_pct),
+        );
+    }
+    println!(
+        "engine_events_sharded: {speedup:.2}x speedup at {sh_threads} threads vs 1, \
+         {solo_overhead_pct:+.1}% one-shard overhead vs legacy"
+    );
+
+    // Stage 6: the scale stage. Full mode builds the paper-scale world:
+    // one million connections across 100 single-server shards.
+    let (mw_servers, mw_clients, mw_conns, mw_rps, mw_ms) = if check {
+        (10u32, 2usize, 50u32, 20_000.0, 15u64)
+    } else {
+        (100, 8, 1_250, 40_000.0, 30)
+    };
+    let total_conns = u64::from(mw_servers) * mw_clients as u64 * u64::from(mw_conns);
+    assert!(check || total_conns == 1_000_000, "full-scale world must hold 1M connections");
+    let mw_threads = hw_threads.min(mw_servers);
+    let mw = sharded_world(seed, mw_servers, mw_clients, mw_conns, mw_rps, mw_ms, mw_threads);
+    let (mw_events, mw_resp, mw_wall) = bench_sharded(&mw);
+    assert!(mw_resp > 0, "million-connection world delivered nothing");
+    let mut mw_stage = stage(
+        "million_world",
+        "events",
+        mw_events,
+        mw_wall,
+        u64::from(mw_threads),
+        u64::from(mw_servers),
+    );
+    if let Value::Object(obj) = &mut mw_stage {
+        obj.insert("connections".to_string(), Value::UInt(total_conns));
+        obj.insert("responses".to_string(), Value::UInt(mw_resp as u64));
+    }
+    println!("million_world: {total_conns} connections, {mw_resp} responses");
 
     let mut root = Map::new();
-    root.insert("schema".to_string(), Value::UInt(1));
+    root.insert("schema".to_string(), Value::UInt(2));
     root.insert(
         "mode".to_string(),
         Value::String(if check { "check" } else { "full" }.to_string()),
@@ -292,7 +427,14 @@ fn main() {
     root.insert("seed".to_string(), Value::UInt(seed));
     root.insert(
         "benchmarks".to_string(),
-        Value::Array(vec![engine_stage, run_stage, ckpt_stage, collect_stage]),
+        Value::Array(vec![
+            engine_stage,
+            run_stage,
+            ckpt_stage,
+            collect_stage,
+            sharded_stage,
+            mw_stage,
+        ]),
     );
     let json =
         serde_json::to_string_pretty(&Value::Object(root)).expect("serialize benchmark report");
@@ -304,6 +446,12 @@ fn main() {
     let benchmarks = parsed["benchmarks"]
         .as_array()
         .expect("report has a benchmarks array");
-    assert_eq!(benchmarks.len(), 4, "expected one entry per stage");
+    assert_eq!(benchmarks.len(), 6, "expected one entry per stage");
+    for b in benchmarks {
+        assert!(
+            b.get("threads").is_some() && b.get("shards").is_some(),
+            "schema 2 entries carry threads and shards"
+        );
+    }
     println!("wrote {out}");
 }

@@ -21,12 +21,19 @@
 //! 4. **Queue bound** — the pending-event count stays under a
 //!    caller-supplied ceiling (a runaway feedback loop grows the heap
 //!    without bound long before it exhausts memory).
+//! 5. **Outbox drained** — audits run at synchronization-round
+//!    boundaries, where a sharded world's cross-shard outbox must be
+//!    empty (see [`crate::ShardedCluster`]).
+//!
+//! [`audit_sharded`] additionally checks **cross-shard conservation**:
+//! every message one shard emitted was injected into another.
 //!
 //! Checkpoint *integrity* (checksum + version) is verified separately
 //! by [`treadmill_sim_core::snapshot::open`] on every restore.
 
 use treadmill_sim_core::Engine;
 
+use crate::shard::ShardedCluster;
 use crate::world::ClusterWorld;
 
 /// Runs all invariant checks against a live engine, returning one
@@ -91,6 +98,43 @@ pub fn audit_invariants(engine: &Engine<ClusterWorld>, max_pending: usize) -> Ve
         ));
     }
 
+    // 5. Outbox drained: audits happen at round boundaries, where the
+    // executor has already moved every cross-shard message.
+    if let Some(ctx) = &world.shard {
+        if !ctx.outbox.is_empty() {
+            findings.push(format!(
+                "shard outbox holds {} undrained cross-shard messages at an audit point",
+                ctx.outbox.len()
+            ));
+        }
+    }
+
+    findings
+}
+
+/// Audits every shard of a [`ShardedCluster`] (findings prefixed with
+/// the shard index) plus the cross-shard conservation invariant: the
+/// total of messages shards emitted must equal the total injected.
+pub fn audit_sharded(cluster: &ShardedCluster, max_pending: usize) -> Vec<String> {
+    let mut findings = Vec::new();
+    let mut sent_total = 0u64;
+    let mut received_total = 0u64;
+    for i in 0..cluster.n_shards() {
+        let engine = cluster.engine(i);
+        for f in audit_invariants(&engine, max_pending) {
+            findings.push(format!("shard {i}: {f}"));
+        }
+        if let Some(ctx) = &engine.world().shard {
+            sent_total += ctx.sent;
+            received_total += ctx.received;
+        }
+    }
+    if sent_total != received_total {
+        findings.push(format!(
+            "cross-shard conservation violated: {sent_total} messages emitted but \
+             {received_total} injected"
+        ));
+    }
     findings
 }
 

@@ -54,12 +54,13 @@ mod hysteresis;
 mod network;
 mod request;
 pub mod server;
+mod shard;
 mod source;
 pub mod spec;
 mod trace;
 mod world;
 
-pub use audit::audit_invariants;
+pub use audit::{audit_invariants, audit_sharded};
 pub use capture::{CapturedPair, PacketCapture};
 pub use client::ClientMachine;
 pub use config::{ClientSpec, HardwareConfig, HysteresisSpec, Level, NetworkSpec, ServerSpec};
@@ -67,6 +68,7 @@ pub use fault::{FailureKind, FailureRecord, FaultPlan, FaultSpec, FaultSummary, 
 pub use hysteresis::{ConnectionState, RunState};
 pub use network::Network;
 pub use request::{Request, RequestId, ResponseRecord};
+pub use shard::{merge_results, ShardedCluster, INTER_SHARD_PROPAGATION};
 pub use source::{PoissonSource, SendOrder, TrafficSource};
 pub use trace::{TraceError, TraceSource};
 pub use world::{extract_result, ClusterBuilder, ClusterWorld, CoreStats, Event, RunResult};

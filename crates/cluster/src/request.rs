@@ -23,6 +23,9 @@ pub struct Request {
     /// Which attempt this packet carries (0 = first try; retries and
     /// hedges reuse the id with a higher attempt).
     pub attempt: u32,
+    /// The shard whose client originated this request (0 in unsharded
+    /// worlds). A foreign server routes the response back here.
+    pub home_shard: u32,
     /// When the load tester initiated the send (user space).
     pub t_generated: SimTime,
     /// When the request packet left the client NIC (tcpdump TX stamp).
@@ -57,6 +60,7 @@ impl Request {
             conn,
             profile,
             attempt: 0,
+            home_shard: 0,
             t_generated,
             t_client_nic_out: t_generated,
             t_server_nic_in: t_generated,

@@ -126,6 +126,68 @@ pub enum Event {
     ConnReset(Box<Request>),
 }
 
+/// A message crossing a shard boundary, carried through the owning
+/// shard's outbox until the executor injects it into the destination
+/// shard's heap (see [`crate::shard`]).
+#[derive(Debug)]
+pub(crate) enum ShardMsg {
+    /// A request packet bound for a foreign server's NIC.
+    Request(Box<Request>),
+    /// A response packet returning to the request's home client.
+    Response(Box<Request>),
+    /// A connection reset from a crashed foreign server.
+    Reset(Box<Request>),
+}
+
+impl ShardMsg {
+    /// The event the destination shard executes on arrival.
+    pub(crate) fn into_event(self) -> Event {
+        match self {
+            ShardMsg::Request(req) => Event::ServerNicArrive(req),
+            ShardMsg::Response(req) => Event::ClientNicArrive(req),
+            ShardMsg::Reset(req) => Event::ConnReset(req),
+        }
+    }
+}
+
+/// Sharding context attached to a world that participates in a
+/// [`crate::ShardedCluster`]. `None` on the classic single-world path,
+/// which then executes the exact event/RNG sequence it always has.
+#[derive(Debug)]
+pub(crate) struct ShardCtx {
+    /// This shard's index.
+    pub(crate) index: u32,
+    /// Total shards in the cluster.
+    pub(crate) n_shards: u32,
+    /// Every `remote_every`-th connection targets a foreign server
+    /// (0 disables cross-shard traffic).
+    pub(crate) remote_every: u32,
+    /// Inter-shard propagation delay — the conservative lookahead.
+    pub(crate) prop: SimDuration,
+    /// Departed cross-shard messages awaiting the executor:
+    /// `(arrival instant, destination shard, message)`.
+    pub(crate) outbox: Vec<(SimTime, u32, ShardMsg)>,
+    /// Cross-shard messages this shard has emitted (conservation).
+    pub(crate) sent: u64,
+    /// Cross-shard messages injected into this shard (conservation).
+    pub(crate) received: u64,
+}
+
+impl ShardCtx {
+    pub(crate) fn new(index: u32, n_shards: u32, remote_every: u32, prop: SimDuration) -> Self {
+        assert!(index < n_shards, "shard index out of range");
+        ShardCtx {
+            index,
+            n_shards,
+            remote_every,
+            prop,
+            outbox: Vec::new(),
+            sent: 0,
+            received: 0,
+        }
+    }
+}
+
 /// The complete simulated cluster (implements [`World`]).
 #[derive(Debug)]
 pub struct ClusterWorld {
@@ -147,6 +209,9 @@ pub struct ClusterWorld {
     pub(crate) faults: Option<FaultPlan>,
     /// `None` when the retry policy is disabled.
     policy: Option<RetryPolicy>,
+    /// `None` outside sharded execution — the classic path then runs
+    /// bit-identically to every build before sharding existed.
+    pub(crate) shard: Option<ShardCtx>,
 }
 
 impl ClusterWorld {
@@ -172,6 +237,61 @@ impl ClusterWorld {
     #[doc(hidden)]
     pub fn debug_skew_outstanding(&mut self, delta: u32) {
         self.outstanding += delta;
+    }
+
+    /// This world's shard index (0 when unsharded).
+    fn home_shard(&self) -> u32 {
+        self.shard.as_ref().map_or(0, |ctx| ctx.index)
+    }
+
+    /// The inter-shard propagation delay (zero when unsharded; only
+    /// read on paths where a shard context is guaranteed present).
+    fn shard_prop(&self) -> SimDuration {
+        self.shard.as_ref().map_or(SimDuration::ZERO, |ctx| ctx.prop)
+    }
+
+    /// True if `req` originated on another shard's client.
+    fn is_foreign(&self, req: &Request) -> bool {
+        req.home_shard != self.home_shard()
+    }
+
+    /// The foreign shard this connection's requests target, or `None`
+    /// for a plain local connection. Pure function of the connection
+    /// identity: every attempt of every request on the connection
+    /// reaches the same server, and the designation is identical at
+    /// every thread count.
+    #[allow(clippy::cast_possible_truncation)]
+    fn remote_dst(&self, client: u32, conn: u32) -> Option<u32> {
+        let ctx = self.shard.as_ref()?;
+        if ctx.n_shards < 2 || ctx.remote_every == 0 || !conn.is_multiple_of(ctx.remote_every) {
+            return None;
+        }
+        // Spread destinations over the other shards, never selecting
+        // the home shard itself.
+        let spread = ((u64::from(client) + u64::from(conn / ctx.remote_every))
+            % u64::from(ctx.n_shards - 1)) as u32;
+        Some((ctx.index + 1 + spread) % ctx.n_shards)
+    }
+
+    /// Placement state for a request's connection. Foreign connections
+    /// have no hysteresis entry on this server, so their placement is
+    /// hashed deterministically from the connection identity.
+    fn conn_state(&self, req: &Request) -> crate::hysteresis::ConnectionState {
+        if self.is_foreign(req) {
+            remote_conn_state(req.home_shard, req.client, req.conn, self.server.spec())
+        } else {
+            self.run_state.connection(req.client, req.conn)
+        }
+    }
+
+    /// Queues a cross-shard message for the executor to inject at
+    /// `arrival`. Only called on paths where a shard context exists
+    /// (a `remote_dst` hit or a foreign request in hand).
+    fn send_cross_shard(&mut self, arrival: SimTime, dst: u32, msg: ShardMsg) {
+        if let Some(ctx) = self.shard.as_mut() {
+            ctx.sent += 1;
+            ctx.outbox.push((arrival, dst, msg));
+        }
     }
 
     // Client indices fit u32: cluster configs top out at a handful of
@@ -211,7 +331,7 @@ impl ClusterWorld {
         let duration = match &job {
             CoreJob::Irq(_) => self.server.irq_duration(core),
             CoreJob::Work(req) => {
-                let state = self.run_state.connection(req.client, req.conn);
+                let state = self.conn_state(req);
                 let irq_core = self.server.rss_core(state.rss_queue);
                 let handoff =
                     self.server.cores[irq_core].socket != self.server.cores[core].socket;
@@ -277,6 +397,7 @@ impl ClusterWorld {
     fn resend_packet(&mut self, client: u32, id: RequestId, entry: InFlight) -> Box<Request> {
         let mut req = Box::new(Request::new(id, client, entry.conn, entry.profile, entry.t_first));
         req.attempt = entry.attempt;
+        req.home_shard = self.home_shard();
         req
     }
 }
@@ -297,7 +418,8 @@ impl World for ClusterWorld {
                 let profile = self.workload.sample_request(&mut self.clients[ci].rng);
                 let id = RequestId(self.next_id);
                 self.next_id += 1;
-                let req = Box::new(Request::new(id, client, conn, profile, now));
+                let mut req = Box::new(Request::new(id, client, conn, profile, now));
+                req.home_shard = self.home_shard();
                 self.outstanding += 1;
                 if self.sample_outstanding {
                     self.outstanding_samples.push((now, self.outstanding));
@@ -345,19 +467,42 @@ impl World for ClusterWorld {
                     }
                 }
                 req.t_client_nic_out = out;
-                let arrive = out + self.network.propagation(ci);
-                queue.schedule(arrive, Event::ServerNicArrive(req));
+                match self.remote_dst(req.client, req.conn) {
+                    Some(dst) => {
+                        // The packet leaves for a foreign server; it
+                        // arrives there after the inter-shard delay,
+                        // which is also the conservative lookahead.
+                        let arrive = out + self.shard_prop();
+                        self.send_cross_shard(arrive, dst, ShardMsg::Request(req));
+                    }
+                    None => {
+                        let arrive = out + self.network.propagation(ci);
+                        queue.schedule(arrive, Event::ServerNicArrive(req));
+                    }
+                }
             }
             Event::ServerNicArrive(mut req) => {
-                if let Some(plan) = &mut self.faults {
-                    if plan.server_down_at(now) {
-                        // A down server answers with a RST; the client
-                        // sees it one propagation delay later.
+                let down = self
+                    .faults
+                    .as_mut()
+                    .is_some_and(|plan| plan.server_down_at(now));
+                if down {
+                    // A down server answers with a RST; the client
+                    // sees it one propagation delay later — routed
+                    // back across the shard boundary if the request
+                    // came from a foreign client.
+                    if self.is_foreign(&req) {
+                        let back = now + self.shard_prop();
+                        let home = req.home_shard;
+                        self.send_cross_shard(back, home, ShardMsg::Reset(req));
+                    } else {
                         let ci = req.client as usize;
                         let back = now + self.network.propagation(ci);
                         queue.schedule(back, Event::ConnReset(req));
-                        return;
                     }
+                    return;
+                }
+                if let Some(plan) = &mut self.faults {
                     let backlog = self.network.ingress_backlog_bytes(now);
                     if plan.nic_overflow(backlog, req.profile.request_bytes) {
                         return;
@@ -367,7 +512,7 @@ impl World for ClusterWorld {
                     .network
                     .ingress_departure(now, req.profile.request_bytes);
                 req.t_server_nic_in = done;
-                let state = self.run_state.connection(req.client, req.conn);
+                let state = self.conn_state(&req);
                 let core = self.server.rss_core(state.rss_queue);
                 queue.schedule(
                     done,
@@ -412,7 +557,7 @@ impl World for ClusterWorld {
                 match job {
                     CoreJob::Irq(mut req) => {
                         req.t_irq_done = now;
-                        let state = self.run_state.connection(req.client, req.conn);
+                        let state = self.conn_state(&req);
                         let core = self
                             .server
                             .balanced_worker_core(usize::from(state.worker_core));
@@ -435,9 +580,15 @@ impl World for ClusterWorld {
                             .as_mut()
                             .is_some_and(FaultPlan::drop_downlink);
                         if !lost {
-                            let ci = req.client as usize;
-                            let arrive = out + self.network.propagation(ci);
-                            queue.schedule(arrive, Event::ClientNicArrive(req));
+                            if self.is_foreign(&req) {
+                                let arrive = out + self.shard_prop();
+                                let home = req.home_shard;
+                                self.send_cross_shard(arrive, home, ShardMsg::Response(req));
+                            } else {
+                                let ci = req.client as usize;
+                                let arrive = out + self.network.propagation(ci);
+                                queue.schedule(arrive, Event::ClientNicArrive(req));
+                            }
                         }
                     }
                     CoreJob::Stall(_) => {}
@@ -633,6 +784,7 @@ pub struct ClusterBuilder {
     trace_frequencies: bool,
     fault_spec: FaultSpec,
     retry_policy: RetryPolicy,
+    shard: Option<(u32, u32, u32)>,
 }
 
 impl ClusterBuilder {
@@ -651,6 +803,7 @@ impl ClusterBuilder {
             trace_frequencies: false,
             fault_spec: FaultSpec::default(),
             retry_policy: RetryPolicy::default(),
+            shard: None,
         }
     }
 
@@ -718,6 +871,17 @@ impl ClusterBuilder {
         self
     }
 
+    /// Marks this world as shard `index` of `n_shards` in a
+    /// [`crate::ShardedCluster`], with every `remote_every`-th
+    /// connection targeting a foreign server (0 keeps all traffic
+    /// local). A `(0, 1, _)` context changes nothing observable: with
+    /// one shard no connection is ever remote, so the event and RNG
+    /// sequences match the unsharded build bit for bit.
+    pub fn shard(mut self, index: u32, n_shards: u32, remote_every: u32) -> Self {
+        self.shard = Some((index, n_shards, remote_every));
+        self
+    }
+
     /// Builds the engine with all initial events scheduled.
     ///
     /// # Panics
@@ -770,6 +934,9 @@ impl ClusterBuilder {
             sample_outstanding: self.sample_outstanding,
             faults,
             policy,
+            shard: self.shard.map(|(index, n_shards, remote_every)| {
+                ShardCtx::new(index, n_shards, remote_every, crate::shard::INTER_SHARD_PROPAGATION)
+            }),
         };
         // Steady state keeps roughly one in-flight event per open
         // connection plus per-core completions and the periodic ticks;
@@ -806,6 +973,35 @@ impl ClusterBuilder {
         let mut engine = self.build();
         engine.run_to_completion();
         extract_result(engine)
+    }
+}
+
+/// Deterministic placement for a foreign request: the destination
+/// server holds hysteresis state only for its own shard's connections,
+/// so a remote connection's worker core and RSS queue are hashed from
+/// its `(shard, client, conn)` identity. Pure function of the
+/// connection — identical at every thread count, every round, every
+/// resume.
+fn remote_conn_state(
+    home: u32,
+    client: u32,
+    conn: u32,
+    spec: &ServerSpec,
+) -> crate::hysteresis::ConnectionState {
+    let h = treadmill_sim_core::splitmix64(
+        (u64::from(home) << 40) ^ (u64::from(client) << 20) ^ u64::from(conn),
+    );
+    let total_cores = u64::from(spec.sockets) * u64::from(spec.cores_per_socket);
+    let rss = u64::from(spec.rss_queues);
+    // Both moduli are bounded by u8 hardware spec fields.
+    #[allow(clippy::cast_possible_truncation)]
+    let worker = (h % total_cores) as u8;
+    #[allow(clippy::cast_possible_truncation)]
+    let hashed_rss = ((h >> 24) % rss) as u8;
+    crate::hysteresis::ConnectionState {
+        worker_core: worker,
+        rss_queue: hashed_rss,
+        buffer_remote: false,
     }
 }
 

@@ -95,6 +95,20 @@ pub struct LoadTestConfig {
     /// Master seed.
     #[serde(default)]
     pub seed: u64,
+    /// Number of simulated servers. Each server forms one shard with
+    /// its own replica of the client set; `target_rps` is per-server
+    /// offered load. 1 (the default) keeps the classic unsharded path.
+    #[serde(default = "default_servers")]
+    pub servers: u32,
+    /// Worker threads for sharded execution. 0 (the default) defers to
+    /// the `TML_THREADS` environment variable, then to 1. Seeded runs
+    /// are bit-identical at any thread count.
+    #[serde(default)]
+    pub threads: u32,
+    /// Every `remote_every`-th connection targets a foreign server
+    /// when `servers > 1` (0 keeps all traffic shard-local).
+    #[serde(default = "default_remote_every")]
+    pub remote_every: u32,
     /// Fault-injection configuration (default: no faults).
     #[serde(default)]
     pub faults: FaultSpec,
@@ -114,6 +128,12 @@ fn default_duration_ms() -> u64 {
 }
 fn default_warmup_ms() -> u64 {
     100
+}
+fn default_servers() -> u32 {
+    1
+}
+fn default_remote_every() -> u32 {
+    4
 }
 
 impl LoadTestConfig {
@@ -147,6 +167,9 @@ impl LoadTestConfig {
         if self.clients == 0 {
             return Err(ConfigError::Invalid("clients must be at least 1".into()));
         }
+        if self.servers == 0 {
+            return Err(ConfigError::Invalid("servers must be at least 1".into()));
+        }
         if self.warmup_ms >= self.duration_ms {
             return Err(ConfigError::Invalid(format!(
                 "warm-up ({} ms) must be shorter than the run ({} ms)",
@@ -166,6 +189,9 @@ impl LoadTestConfig {
             .duration(SimDuration::from_millis(self.duration_ms))
             .warmup(SimDuration::from_millis(self.warmup_ms))
             .seed(self.seed)
+            .servers(self.servers)
+            .threads(self.threads)
+            .remote_every(self.remote_every)
             .faults(self.faults)
             .retry_policy(self.retry))
     }
@@ -187,6 +213,19 @@ mod tests {
         assert_eq!(config.duration_ms, 600);
         assert_eq!(config.warmup_ms, 100);
         assert!(config.build().is_ok());
+    }
+
+    #[test]
+    fn sharding_defaults_and_validation() {
+        let config = LoadTestConfig::from_json(minimal_json()).unwrap();
+        assert_eq!(config.servers, 1);
+        assert_eq!(config.threads, 0);
+        assert_eq!(config.remote_every, 4);
+        let config = LoadTestConfig::from_json(
+            r#"{ "workload": { "workload": "memcached" }, "target_rps": 1000, "servers": 0 }"#,
+        )
+        .unwrap();
+        assert!(matches!(config.build(), Err(ConfigError::Invalid(_))));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! * **auditing** — [`ResumableRun::audit`] runs the cluster invariant
 //!   checks against the live engine, e.g. at every checkpoint.
 
-use treadmill_cluster::{checkpoint, ClusterWorld};
+use treadmill_cluster::{checkpoint, merge_results, ClientMachine, ClusterWorld, ShardedCluster};
 use treadmill_sim_core::snapshot::{self, SnapshotError, SnapshotReader, SnapshotWriter};
 use treadmill_sim_core::{Engine, SimTime};
 use treadmill_stats::{
@@ -177,61 +177,138 @@ impl TailMonitor {
     }
 }
 
+/// The execution substrate behind a [`ResumableRun`]: one legacy
+/// engine, or a sharded parallel cluster (`servers > 1`).
+// One Body exists per run, so the inline-engine variant's size is not
+// worth a heap indirection on the single-server hot path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum Body {
+    Single {
+        engine: Engine<ClusterWorld>,
+        /// Per-client count of records already folded into the monitor.
+        consumed: Vec<usize>,
+    },
+    Sharded {
+        cluster: ShardedCluster,
+        /// Per-shard, per-client folded-record counts. The monitor is
+        /// fed in shard-then-client order, a pure function of simulated
+        /// state — thread count never changes the observation stream.
+        consumed: Vec<Vec<usize>>,
+    },
+}
+
 /// One load-test run executing in bounded steps with checkpoint/resume.
 #[derive(Debug)]
 pub struct ResumableRun {
     test: LoadTest,
     run_seed: u64,
-    engine: Engine<ClusterWorld>,
+    body: Body,
     monitor: TailMonitor,
-    /// Per-client count of records already folded into the monitor.
-    consumed: Vec<usize>,
+}
+
+/// Folds each client's not-yet-seen records into the monitor.
+fn fold_records(
+    monitor: &mut TailMonitor,
+    warmup: SimTime,
+    consumed: &mut [usize],
+    clients: &[ClientMachine],
+) {
+    for (consumed, client) in consumed.iter_mut().zip(clients) {
+        for record in &client.records[*consumed..] {
+            if record.t_generated >= warmup {
+                monitor.observe(record.user_latency_us());
+            }
+        }
+        *consumed = client.records.len();
+    }
+}
+
+fn write_consumed(w: &mut SnapshotWriter, consumed: &[usize]) {
+    w.put_u64(consumed.len() as u64);
+    for &n in consumed {
+        w.put_usize(n);
+    }
+}
+
+fn read_consumed(r: &mut SnapshotReader<'_>) -> Result<Vec<usize>, SnapshotError> {
+    let n = r.get_u64()?;
+    let n = usize::try_from(n).map_err(|_| SnapshotError::Malformed("length overflows usize"))?;
+    let mut consumed = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        consumed.push(r.get_usize()?);
+    }
+    Ok(consumed)
 }
 
 impl ResumableRun {
-    /// Starts run number `run_index` of `test` from event zero.
+    /// Starts run number `run_index` of `test` from event zero. A test
+    /// with `servers > 1` steps the sharded parallel executor; the
+    /// checkpoint format, monitor, and report are the same either way.
     pub fn new(test: LoadTest, run_index: u64) -> Self {
         let run_seed = test.derive_run_seed(run_index);
-        let engine = test.build_cluster(run_seed);
-        let consumed = vec![0; engine.world().clients.len()];
+        let body = if test.is_sharded() {
+            let cluster = test.build_sharded(run_seed);
+            let consumed = (0..cluster.n_shards())
+                .map(|i| vec![0; cluster.engine(i).world().clients.len()])
+                .collect();
+            Body::Sharded { cluster, consumed }
+        } else {
+            let engine = test.build_cluster(run_seed);
+            let consumed = vec![0; engine.world().clients.len()];
+            Body::Single { engine, consumed }
+        };
         ResumableRun {
             test,
             run_seed,
-            engine,
+            body,
             monitor: TailMonitor::new(),
-            consumed,
         }
     }
 
     /// Executes up to `max_events` events and folds newly completed
     /// records into the tail monitor. Returns the number executed;
-    /// `0` means the run has drained.
+    /// `0` means the run has drained. A sharded run stops at the first
+    /// synchronization-round boundary past the budget, so it may
+    /// slightly overshoot `max_events`.
     pub fn step(&mut self, max_events: u64) -> u64 {
-        let executed = self.engine.run_events(max_events);
+        let executed = match &mut self.body {
+            Body::Single { engine, .. } => engine.run_events(max_events),
+            Body::Sharded { cluster, .. } => cluster.run(max_events),
+        };
         self.drain_new_records();
         executed
     }
 
     fn drain_new_records(&mut self) {
         let warmup = SimTime::ZERO + self.test.warmup_window();
-        for (consumed, client) in self.consumed.iter_mut().zip(&self.engine.world().clients) {
-            for record in &client.records[*consumed..] {
-                if record.t_generated >= warmup {
-                    self.monitor.observe(record.user_latency_us());
+        match &mut self.body {
+            Body::Single { engine, consumed } => {
+                fold_records(&mut self.monitor, warmup, consumed, &engine.world().clients);
+            }
+            Body::Sharded { cluster, consumed } => {
+                for (i, consumed) in consumed.iter_mut().enumerate() {
+                    let engine = cluster.engine(i);
+                    fold_records(&mut self.monitor, warmup, consumed, &engine.world().clients);
                 }
             }
-            *consumed = client.records.len();
         }
     }
 
     /// True once every event has drained.
     pub fn is_finished(&self) -> bool {
-        self.engine.pending_events() == 0
+        match &self.body {
+            Body::Single { engine, .. } => engine.pending_events() == 0,
+            Body::Sharded { cluster, .. } => cluster.is_finished(),
+        }
     }
 
     /// Events executed so far.
     pub fn events_executed(&self) -> u64 {
-        self.engine.events_executed()
+        match &self.body {
+            Body::Single { engine, .. } => engine.events_executed(),
+            Body::Sharded { cluster, .. } => cluster.events_executed(),
+        }
     }
 
     /// The live tail monitor.
@@ -239,10 +316,15 @@ impl ResumableRun {
         &self.monitor
     }
 
-    /// Runs the cluster invariant auditor against the live engine.
-    /// See [`treadmill_cluster::audit_invariants`].
+    /// Runs the cluster invariant auditor against the live engine(s).
+    /// See [`treadmill_cluster::audit_invariants`]; a sharded run uses
+    /// [`treadmill_cluster::audit_sharded`], which adds the cross-shard
+    /// message-conservation check.
     pub fn audit(&self, max_pending: usize) -> Vec<String> {
-        treadmill_cluster::audit_invariants(&self.engine, max_pending)
+        match &self.body {
+            Body::Single { engine, .. } => treadmill_cluster::audit_invariants(engine, max_pending),
+            Body::Sharded { cluster, .. } => treadmill_cluster::audit_sharded(cluster, max_pending),
+        }
     }
 
     /// Captures the full run state — engine snapshot plus streaming
@@ -262,15 +344,32 @@ impl ResumableRun {
     /// checkpoint, which is most of the snapshot wall time.
     pub fn checkpoint_into(&self, buf: &mut Vec<u8>) {
         let scratch = std::mem::take(buf);
-        let mut w = SnapshotWriter::sealing_reuse(
-            scratch,
-            checkpoint::payload_size_hint(&self.engine) + 8192,
-        );
+        let hint = match &self.body {
+            Body::Single { engine, .. } => checkpoint::payload_size_hint(engine),
+            Body::Sharded { cluster, .. } => (0..cluster.n_shards())
+                .map(|i| checkpoint::payload_size_hint(&cluster.engine(i)))
+                .sum(),
+        };
+        let mut w = SnapshotWriter::sealing_reuse(scratch, hint + 8192);
         w.put_u64(self.run_seed);
-        checkpoint::write_payload(&self.engine, &mut w);
-        w.put_u64(self.consumed.len() as u64);
-        for &n in &self.consumed {
-            w.put_usize(n);
+        // Shard count discriminates the envelope shape: 0 = the legacy
+        // single-engine layout, n ≥ 1 = n (payload, consumed) sections
+        // in shard order. A sharded checkpoint is only ever taken at a
+        // round boundary (outboxes empty), so per-shard payloads are
+        // self-contained.
+        match &self.body {
+            Body::Single { engine, consumed } => {
+                w.put_u32(0);
+                checkpoint::write_payload(engine, &mut w);
+                write_consumed(&mut w, consumed);
+            }
+            Body::Sharded { cluster, consumed } => {
+                w.put_u32(u32::try_from(cluster.n_shards()).unwrap_or(u32::MAX));
+                for (i, consumed) in consumed.iter().enumerate() {
+                    checkpoint::write_payload(&cluster.engine(i), &mut w);
+                    write_consumed(&mut w, consumed);
+                }
+            }
         }
         self.monitor.write(&mut w);
         *buf = w.into_sealed();
@@ -294,37 +393,62 @@ impl ResumableRun {
                 "checkpoint was taken under a different run seed",
             ));
         }
-        let mut engine = test.build_cluster(run_seed);
-        checkpoint::read_payload(&mut engine, &mut r)?;
-        let n_consumed = r.get_u64()?;
-        let mut consumed = Vec::with_capacity(
-            usize::try_from(n_consumed)
-                .map_err(|_| SnapshotError::Malformed("length overflows usize"))?,
-        );
-        for _ in 0..n_consumed {
-            consumed.push(r.get_usize()?);
-        }
+        let n_shards = r.get_u32()?;
+        let body = if n_shards == 0 {
+            if test.is_sharded() {
+                return Err(SnapshotError::Malformed(
+                    "unsharded checkpoint for a sharded configuration",
+                ));
+            }
+            let mut engine = test.build_cluster(run_seed);
+            checkpoint::read_payload(&mut engine, &mut r)?;
+            let consumed = read_consumed(&mut r)?;
+            if consumed.len() != engine.world().clients.len() {
+                return Err(SnapshotError::Malformed("client count mismatch"));
+            }
+            Body::Single { engine, consumed }
+        } else {
+            if !test.is_sharded() || u64::from(n_shards) != u64::from(test.server_count()) {
+                return Err(SnapshotError::Malformed("shard count mismatch"));
+            }
+            let mut cluster = test.build_sharded(run_seed);
+            let mut consumed = Vec::with_capacity(cluster.n_shards());
+            for i in 0..cluster.n_shards() {
+                let engine = cluster.engine_mut(i);
+                checkpoint::read_payload(engine, &mut r)?;
+                let c = read_consumed(&mut r)?;
+                if c.len() != engine.world().clients.len() {
+                    return Err(SnapshotError::Malformed("client count mismatch"));
+                }
+                consumed.push(c);
+            }
+            Body::Sharded { cluster, consumed }
+        };
         let monitor = TailMonitor::read(&mut r)?;
         r.finish()?;
-        if consumed.len() != engine.world().clients.len() {
-            return Err(SnapshotError::Malformed("client count mismatch"));
-        }
         Ok(ResumableRun {
             test,
             run_seed,
-            engine,
+            body,
             monitor,
-            consumed,
         })
     }
 
     /// Drains the remaining events and assembles the report —
     /// bit-identical to what `test.run(run_index)` would have produced
     /// in one uninterrupted execution.
-    pub fn finish(mut self) -> LoadTestReport {
-        self.engine.run_to_completion();
-        self.test
-            .report_from_result(treadmill_cluster::extract_result(self.engine))
+    pub fn finish(self) -> LoadTestReport {
+        let ResumableRun { test, body, .. } = self;
+        match body {
+            Body::Single { mut engine, .. } => {
+                engine.run_to_completion();
+                test.report_from_result(treadmill_cluster::extract_result(engine))
+            }
+            Body::Sharded { mut cluster, .. } => {
+                cluster.run_to_completion();
+                test.report_from_result(merge_results(cluster.into_results()))
+            }
+        }
     }
 }
 
@@ -408,6 +532,57 @@ mod tests {
             straight.tail().quantile_us(0.999).to_bits(),
             resumed.tail().quantile_us(0.999).to_bits()
         );
+    }
+
+    fn sharded_test(threads: u32) -> LoadTest {
+        LoadTest::new(Arc::new(Memcached::default()), 120_000.0)
+            .clients(2)
+            .duration(SimDuration::from_millis(60))
+            .warmup(SimDuration::from_millis(15))
+            .seed(31)
+            .servers(3)
+            .remote_every(4)
+            .threads(threads)
+    }
+
+    #[test]
+    fn sharded_stepped_run_matches_one_shot_run() {
+        let golden = sharded_test(1).run(0);
+        let mut run = ResumableRun::new(sharded_test(2), 0);
+        while run.step(10_000) > 0 {}
+        assert!(run.is_finished());
+        assert_reports_identical(&golden, &run.finish());
+    }
+
+    #[test]
+    fn sharded_kill_and_resume_is_bit_identical() {
+        let golden = sharded_test(1).run(0);
+
+        // Crash a 2-thread sweep mid-run, resume it single-threaded:
+        // the checkpoint sits at a round boundary, so the thread count
+        // on either side of the crash is irrelevant.
+        let bytes = {
+            let mut run = ResumableRun::new(sharded_test(2), 0);
+            run.step(30_000);
+            assert_eq!(run.audit(usize::MAX), Vec::<String>::new());
+            run.checkpoint()
+        };
+        let mut resumed = ResumableRun::resume(sharded_test(1), 0, &bytes).expect("resume");
+        while resumed.step(10_000) > 0 {}
+        assert!(resumed.audit(usize::MAX).is_empty());
+        assert_reports_identical(&golden, &resumed.finish());
+    }
+
+    #[test]
+    fn sharded_checkpoint_rejected_by_unsharded_config() {
+        let mut run = ResumableRun::new(sharded_test(1), 0);
+        run.step(10_000);
+        let bytes = run.checkpoint();
+        let unsharded = sharded_test(1).servers(1);
+        assert!(matches!(
+            ResumableRun::resume(unsharded, 0, &bytes),
+            Err(SnapshotError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -9,8 +9,8 @@
 use std::sync::Arc;
 
 use treadmill_cluster::{
-    ClientSpec, ClusterBuilder, FaultSpec, HardwareConfig, NetworkSpec, PacketCapture,
-    RetryPolicy, RunResult, ServerSpec,
+    merge_results, ClientSpec, ClusterBuilder, FaultSpec, HardwareConfig, NetworkSpec,
+    PacketCapture, RetryPolicy, RunResult, ServerSpec, ShardedCluster,
 };
 use treadmill_sim_core::{SeedStream, SimDuration, SimTime};
 use treadmill_stats::LatencySummary;
@@ -50,6 +50,9 @@ pub struct LoadTest {
     warmup: SimDuration,
     aggregation: AggregationMethod,
     seed: u64,
+    servers: u32,
+    threads: u32,
+    remote_every: u32,
     fault_spec: FaultSpec,
     retry_policy: RetryPolicy,
 }
@@ -72,6 +75,9 @@ impl LoadTest {
             warmup: SimDuration::from_millis(100),
             aggregation: AggregationMethod::Mean,
             seed: 0,
+            servers: 1,
+            threads: 0,
+            remote_every: 4,
             fault_spec: FaultSpec::default(),
             retry_policy: RetryPolicy::default(),
         }
@@ -152,6 +158,31 @@ impl LoadTest {
         self
     }
 
+    /// Number of simulated servers. Each server forms one shard with
+    /// its own replica of the client set, so `target_rps` is offered
+    /// load *per server*. 1 (the default) keeps the classic unsharded
+    /// engine.
+    pub fn servers(mut self, servers: u32) -> Self {
+        assert!(servers > 0, "need at least one server");
+        self.servers = servers;
+        self
+    }
+
+    /// Worker threads for sharded execution. 0 (the default) defers to
+    /// the `TML_THREADS` environment variable, then to 1. Seeded runs
+    /// are bit-identical at any thread count.
+    pub fn threads(mut self, threads: u32) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Routes every `remote_every`-th connection to a foreign shard
+    /// when `servers > 1` (0 keeps all traffic shard-local).
+    pub fn remote_every(mut self, remote_every: u32) -> Self {
+        self.remote_every = remote_every;
+        self
+    }
+
     /// The target throughput in requests per second.
     pub fn target_rps(&self) -> f64 {
         self.target_rps
@@ -183,15 +214,43 @@ impl LoadTest {
         &self,
         run_seed: u64,
     ) -> treadmill_sim_core::Engine<treadmill_cluster::ClusterWorld> {
+        self.build_world(run_seed, None)
+    }
+
+    /// Builds one shard's world: a full server with its own replica of
+    /// the client set. Shard 0 reuses the run seed verbatim so a
+    /// one-shard sharded run is bit-identical to the legacy engine;
+    /// shard `i > 0` draws an independent stream from the run seed.
+    fn build_shard_engine(
+        &self,
+        run_seed: u64,
+        index: u32,
+    ) -> treadmill_sim_core::Engine<treadmill_cluster::ClusterWorld> {
+        let shard_seed = if index == 0 {
+            run_seed
+        } else {
+            SeedStream::new(run_seed).derive("shard", u64::from(index))
+        };
+        self.build_world(shard_seed, Some((index, self.servers, self.remote_every)))
+    }
+
+    fn build_world(
+        &self,
+        seed: u64,
+        shard: Option<(u32, u32, u32)>,
+    ) -> treadmill_sim_core::Engine<treadmill_cluster::ClusterWorld> {
         let per_client_rate = self.target_rps / self.clients as f64;
         let mut builder = ClusterBuilder::new(Arc::clone(&self.workload))
             .hardware(self.hardware)
             .server_spec(self.server_spec.clone())
             .network_spec(self.network_spec.clone())
-            .seed(run_seed)
+            .seed(seed)
             .duration(self.duration)
             .faults(self.fault_spec)
             .retry_policy(self.retry_policy);
+        if let Some((index, n_shards, remote_every)) = shard {
+            builder = builder.shard(index, n_shards, remote_every);
+        }
         for _ in 0..self.clients {
             let mut spec = self.client_spec.clone();
             spec.connections = self.connections_per_client;
@@ -208,9 +267,55 @@ impl LoadTest {
         builder.build()
     }
 
+    /// Whether this test runs on the sharded parallel executor.
+    pub(crate) fn is_sharded(&self) -> bool {
+        self.servers > 1
+    }
+
+    /// The configured server (= shard) count.
+    pub(crate) fn server_count(&self) -> u32 {
+        self.servers
+    }
+
+    /// Resolved worker-thread count: the explicit `threads` setting,
+    /// else the `TML_THREADS` environment variable, else 1.
+    pub(crate) fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads as usize;
+        }
+        std::env::var("TML_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or(1)
+    }
+
+    /// Builds the sharded cluster for one run without executing it —
+    /// the entry point for stepped/resumable sharded execution.
+    pub(crate) fn build_sharded(&self, run_seed: u64) -> ShardedCluster {
+        let engines = (0..self.servers)
+            .map(|i| self.build_shard_engine(run_seed, i))
+            .collect();
+        ShardedCluster::new(engines, self.effective_threads())
+    }
+
+    /// Executes run number `run_index` on the sharded executor
+    /// regardless of the `servers` setting (a one-server sharded run
+    /// is bit-identical to [`LoadTest::run`]).
+    pub fn run_sharded(&self, run_index: u64) -> LoadTestReport {
+        let mut cluster = self.build_sharded(self.derive_run_seed(run_index));
+        cluster.run_to_completion();
+        self.report_from_result(merge_results(cluster.into_results()))
+    }
+
     /// Executes a run with an explicit cluster seed (used by
     /// [`LoadTest::run_robust`] to draw fresh re-run seeds).
     fn run_seeded(&self, run_seed: u64) -> LoadTestReport {
+        if self.is_sharded() {
+            let mut cluster = self.build_sharded(run_seed);
+            cluster.run_to_completion();
+            return self.report_from_result(merge_results(cluster.into_results()));
+        }
         let mut engine = self.build_cluster(run_seed);
         engine.run_to_completion();
         self.report_from_result(treadmill_cluster::extract_result(engine))

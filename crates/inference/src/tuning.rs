@@ -119,6 +119,7 @@ pub fn validate(plan: &TuningPlan, recommended: HardwareConfig) -> TuningOutcome
 
 fn run_arm(plan: &TuningPlan, pinned: Option<HardwareConfig>, salt: u64) -> ArmSummary {
     let seeds = SeedStream::new(plan.seed ^ salt);
+    // tml-lint: allow(DET007, slots are pre-sized and index-assigned by experiment id; completion order never reaches the result)
     let results: Mutex<Vec<(f64, f64)>> = Mutex::new(vec![(0.0, 0.0); plan.experiments]);
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {

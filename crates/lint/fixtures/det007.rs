@@ -1,0 +1,21 @@
+// Fixture for DET007: unordered cross-thread result collection.
+type Shared = std::sync::Mutex<Vec<u64>>;
+
+fn positive_push(out: &Shared, v: u64) {
+    out.lock().unwrap().push(v);
+}
+
+// tml-lint: allow(DET007, fixture: slots pre-sized and index-assigned by job id)
+fn suppressed_decl(n: usize) -> std::sync::Mutex<Vec<u64>> {
+    std::sync::Mutex::new(vec![0; n])
+}
+
+fn negative_vec_of_mutexes(n: usize) -> Vec<std::sync::Mutex<u64>> {
+    (0..n).map(|_| std::sync::Mutex::new(0)).collect()
+}
+
+fn negative_lock_then_slot_assign(out: &Shared, i: usize, v: u64) {
+    if let Ok(mut slots) = out.lock() {
+        slots[i] = v;
+    }
+}

@@ -66,6 +66,14 @@ pub const RULES: &[Rule] = &[
         hint: "keep sim-time integers u64 end-to-end, or use try_from with an \
                explicit failure path",
     },
+    Rule {
+        id: "DET007",
+        summary: "unordered cross-thread result collection (Mutex<Vec> push or \
+                  thread-completion-order indexing): arrival order depends on \
+                  the scheduler and breaks bit-identical replay",
+        hint: "collect into pre-sized slots keyed by a deterministic index, or \
+               merge in a fixed shard/worker order after the join",
+    },
 ];
 
 /// Looks up a rule by id.
@@ -274,6 +282,12 @@ pub fn check_file(path: &str, model: &SourceModel) -> FileReport {
         {
             hits.push(&RULES[5]);
         }
+        if det
+            && (code.contains("Mutex<Vec<")
+                || (code.contains(".lock()") && code.contains(".push(")))
+        {
+            hits.push(&RULES[6]);
+        }
 
         if hits.is_empty() {
             continue;
@@ -396,6 +410,43 @@ mod tests {
     #[test]
     fn patterns_in_strings_do_not_fire() {
         let src = "let s = \"thread_rng Instant::now HashMap\";\n";
+        assert!(check("crates/cluster/src/x.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn det007_flags_mutex_vec_in_deterministic_crates() {
+        let src = "let results: Mutex<Vec<f64>> = Mutex::new(Vec::new());\n";
+        let r = check("crates/inference/src/x.rs", src);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].rule, "DET007");
+        // Outside the deterministic crates the pattern is fine.
+        assert!(check("crates/stats/src/x.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn det007_flags_same_line_lock_push() {
+        let src = "out.lock().unwrap().push(result);\n";
+        let r = check("crates/cluster/src/x.rs", src);
+        let rules: Vec<&str> = r.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"DET007"), "{rules:?}");
+    }
+
+    #[test]
+    fn det007_ignores_slot_indexed_collections_with_allow() {
+        let src = "\
+// tml-lint: allow(DET007, slots are pre-sized and index-assigned by experiment id)
+let results: Mutex<Vec<f64>> = Mutex::new(vec![0.0; n]);
+";
+        let r = check("crates/inference/src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.suppressed, 1);
+    }
+
+    #[test]
+    fn det007_does_not_flag_vec_of_mutexes() {
+        // A Vec<Mutex<_>> with per-slot ownership (the sharded executor's
+        // layout) is the deterministic fix, not the hazard.
+        let src = "let shards: Vec<Mutex<Engine>> = engines.into_iter().map(Mutex::new).collect();\n";
         assert!(check("crates/cluster/src/x.rs", src).findings.is_empty());
     }
 }

@@ -78,3 +78,12 @@ fn num001_narrowing_casts() {
     // NUM001 is scoped to the deterministic crates.
     assert!(lines_for("NUM001", NON_DET_PATH, src).is_empty());
 }
+
+#[test]
+fn det007_unordered_collection() {
+    let src = include_str!("../fixtures/det007.rs");
+    assert_fixture("DET007", DET_PATH, src, &[2, 5]);
+    // DET007 is scoped to the deterministic crates: elsewhere a shared
+    // results vector is allowed to be scheduler-ordered.
+    assert!(lines_for("DET007", NON_DET_PATH, src).is_empty());
+}

@@ -91,6 +91,19 @@ impl<W: World> Engine<W> {
         self.queue.schedule(at, event);
     }
 
+    /// Schedules an event in ordering lane `lane` (see
+    /// [`EventQueue::schedule_in_lane`]): among same-instant events,
+    /// lower lanes pop first. Sharded executors use this to inject
+    /// cross-shard arrivals with a thread-independent total order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current instant.
+    pub fn schedule_in_lane(&mut self, at: SimTime, lane: u16, event: W::Event) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.schedule_in_lane(at, lane, event);
+    }
+
     /// Schedules an event `delay` after the current instant — the common
     /// case, with no past-check needed (a non-negative offset from `now`
     /// cannot land in the past).

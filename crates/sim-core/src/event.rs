@@ -1,14 +1,24 @@
 //! The event queue: a time-ordered priority queue with stable FIFO
 //! ordering among events scheduled for the same instant.
 //!
-//! Implemented as an implicit 4-ary min-heap over packed `(time, seq)`
-//! keys. The key array is dense (`u128` per entry: firing time in the
-//! high 64 bits, schedule sequence number in the low 64), so one
-//! comparison orders both time and FIFO tie-break, and the four children
-//! of a node share a cache line. Payloads live in a parallel array moved
-//! in lockstep, keeping the comparison-heavy sift loops off the (often
-//! large) event type. A 4-ary layout halves tree depth versus a binary
-//! heap, which is where the sift time goes on deep queues.
+//! Implemented as an implicit 4-ary min-heap over packed
+//! `(time, lane, seq)` keys. The key array is dense (`u128` per entry:
+//! firing time in the high 64 bits, a 16-bit ordering lane at bits
+//! 48..64, and a 48-bit schedule sequence number in the low bits), so
+//! one comparison orders time, lane and FIFO tie-break together, and
+//! the four children of a node share a cache line. Payloads live in a
+//! parallel array moved in lockstep, keeping the comparison-heavy sift
+//! loops off the (often large) event type. A 4-ary layout halves tree
+//! depth versus a binary heap, which is where the sift time goes on
+//! deep queues.
+//!
+//! The lane exists for sharded parallel simulation: events injected
+//! from another shard carry `lane = source shard + 1`, so simultaneous
+//! cross-shard arrivals order by source shard first and per-source
+//! sequence second — a total order independent of thread scheduling.
+//! Plain [`EventQueue::schedule`] uses lane 0, which contributes
+//! nothing to the key, so single-shard runs keep the exact key values
+//! (and pop sequence) of the pre-lane format.
 
 use crate::time::SimTime;
 
@@ -25,9 +35,15 @@ pub struct ScheduledEvent<E> {
 
 const ARITY: usize = 4;
 
+/// Bits of the packed key holding the FIFO sequence number.
+const SEQ_BITS: u32 = 48;
+/// Mask isolating the sequence lane of a packed key's low 64 bits.
+const SEQ_MASK: u64 = (1 << SEQ_BITS) - 1;
+
 #[inline]
-fn pack(at: SimTime, seq: u64) -> u128 {
-    (u128::from(at.as_nanos()) << 64) | u128::from(seq)
+fn pack(at: SimTime, lane: u16, seq: u64) -> u128 {
+    debug_assert!(seq <= SEQ_MASK, "sequence lane overflow");
+    (u128::from(at.as_nanos()) << 64) | (u128::from(lane) << SEQ_BITS) | u128::from(seq)
 }
 
 #[inline]
@@ -87,12 +103,25 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Schedules `event` to fire at instant `at`.
+    /// Schedules `event` to fire at instant `at` (ordering lane 0).
     #[inline]
     pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.schedule_in_lane(at, 0, event);
+    }
+
+    /// Schedules `event` at instant `at` in ordering lane `lane`.
+    ///
+    /// Among events firing at the same instant, lower lanes pop first,
+    /// and within a lane the FIFO schedule order applies. Sharded
+    /// simulation uses lane `source shard + 1` for injected cross-shard
+    /// messages so that simultaneous arrivals from different shards
+    /// take a total order that no thread interleaving can perturb;
+    /// everything else stays in lane 0.
+    #[inline]
+    pub fn schedule_in_lane(&mut self, at: SimTime, lane: u16, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.keys.push(pack(at, seq));
+        self.keys.push(pack(at, lane, seq));
         self.events.push(event);
         self.sift_up(self.keys.len() - 1);
     }
@@ -189,7 +218,7 @@ impl<E> EventQueue<E> {
     pub fn restore_slots(&mut self, keys: Vec<u128>, events: Vec<E>, next_seq: u64) {
         assert_eq!(keys.len(), events.len(), "keys and events stay parallel");
         assert!(
-            keys.iter().all(|&k| (k & u128::from(u64::MAX)) < u128::from(next_seq)),
+            keys.iter().all(|&k| (k & u128::from(SEQ_MASK)) < u128::from(next_seq)),
             "next_seq must exceed every restored sequence number"
         );
         self.keys = keys;
@@ -391,6 +420,48 @@ mod tests {
     fn restore_slots_rejects_length_mismatch() {
         let mut q: EventQueue<u8> = EventQueue::new();
         q.restore_slots(vec![0u128], vec![], 1);
+    }
+
+    #[test]
+    fn lanes_order_simultaneous_events_by_lane_then_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(3);
+        q.schedule_in_lane(t, 2, "lane2-first");
+        q.schedule_in_lane(t, 1, "lane1-first");
+        q.schedule(t, "lane0");
+        q.schedule_in_lane(t, 1, "lane1-second");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|s| s.event)).collect();
+        assert_eq!(order, vec!["lane0", "lane1-first", "lane1-second", "lane2-first"]);
+    }
+
+    #[test]
+    fn lane_zero_keys_match_legacy_packing() {
+        // `schedule` must keep producing the pre-lane key layout so
+        // existing snapshots and golden seeds stay bit-identical.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_nanos(7), ());
+        q.schedule(SimTime::from_nanos(7), ());
+        let (keys, _, _) = q.snapshot_slots();
+        assert_eq!(keys[0], (7u128 << 64));
+        assert!(keys.contains(&((7u128 << 64) | 1)));
+    }
+
+    #[test]
+    fn lane_beats_sequence_at_same_instant() {
+        // An earlier-scheduled high-lane event still pops after a
+        // later-scheduled low-lane event at the same instant.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(42);
+        q.schedule_in_lane(t, 5, "high");
+        for _ in 0..100 {
+            q.schedule_in_lane(t, 1, "low");
+        }
+        assert_eq!(q.pop().unwrap().event, "low");
+        let mut last = "";
+        while let Some(s) = q.pop() {
+            last = s.event;
+        }
+        assert_eq!(last, "high");
     }
 
     #[test]

@@ -88,29 +88,16 @@ fn kill_budget() -> u32 {
         .unwrap_or(4)
 }
 
-#[test]
-fn sigkilled_sweep_resumes_to_byte_identical_artifacts() {
-    let root = temp_root("soak");
-    let config = write_config(&root);
-
-    // Golden: one uninterrupted sweep.
-    let golden_dir = root.join("golden");
-    let status = Command::new(cli())
-        .args(sweep_args(&config, &golden_dir, false))
-        .status()
-        .expect("spawn golden sweep");
-    assert!(status.success(), "golden sweep failed: {status}");
-
-    // Chaos: kill the sweep at seeded delays, resume, repeat. After the
-    // kill budget is spent, let the final resume run to completion.
-    let chaos_dir = root.join("chaos");
-    let mut rng = Lcg(0x5EED_CAFE);
+/// Kills a sweep over `config` at seeded delays until the kill budget
+/// is spent, then lets the final resume finish. Returns the number of
+/// kills actually landed.
+fn chaos_loop(config: &Path, chaos_dir: &Path, budget: u32, lcg_seed: u64) -> u32 {
+    let mut rng = Lcg(lcg_seed);
     let mut kills = 0;
-    let budget = kill_budget();
     let mut resume = false;
     loop {
         let mut child = Command::new(cli())
-            .args(sweep_args(&config, &chaos_dir, resume))
+            .args(sweep_args(config, chaos_dir, resume))
             .spawn()
             .expect("spawn chaos sweep");
         resume = true;
@@ -134,6 +121,26 @@ fn sigkilled_sweep_resumes_to_byte_identical_artifacts() {
             }
         }
     }
+    kills
+}
+
+#[test]
+fn sigkilled_sweep_resumes_to_byte_identical_artifacts() {
+    let root = temp_root("soak");
+    let config = write_config(&root);
+
+    // Golden: one uninterrupted sweep.
+    let golden_dir = root.join("golden");
+    let status = Command::new(cli())
+        .args(sweep_args(&config, &golden_dir, false))
+        .status()
+        .expect("spawn golden sweep");
+    assert!(status.success(), "golden sweep failed: {status}");
+
+    // Chaos: kill the sweep at seeded delays, resume, repeat. After the
+    // kill budget is spent, let the final resume run to completion.
+    let chaos_dir = root.join("chaos");
+    let kills = chaos_loop(&config, &chaos_dir, kill_budget(), 0x5EED_CAFE);
 
     // The whole point: bit-identical artifacts despite the carnage.
     for artifact in ["cell_0.tsv", "cell_1.tsv", "cell_2.tsv", "summary.tsv"] {
@@ -159,6 +166,55 @@ fn sigkilled_sweep_resumes_to_byte_identical_artifacts() {
         assert!(header.contains("version="), "{artifact} header: {header:?}");
     }
 
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn sigkilled_sharded_multithreaded_sweep_resumes_byte_identical() {
+    // Same end-to-end crash soak, but the cells run on the sharded
+    // parallel executor (3 servers, 2 worker threads). Checkpoints land
+    // only at synchronization-round boundaries, so a SIGKILL during a
+    // multi-threaded round must resume onto the same bits.
+    let root = temp_root("soak-sharded");
+    let config = root.join("config.json");
+    fs::write(
+        &config,
+        r#"{
+            "workload": { "workload": "memcached" },
+            "target_rps": 200000,
+            "clients": 2,
+            "duration_ms": 100,
+            "warmup_ms": 25,
+            "servers": 3,
+            "threads": 2,
+            "remote_every": 4
+        }"#,
+    )
+    .unwrap();
+
+    let golden_dir = root.join("golden");
+    let status = Command::new(cli())
+        .args(sweep_args(&config, &golden_dir, false))
+        .status()
+        .expect("spawn golden sharded sweep");
+    assert!(status.success(), "golden sharded sweep failed: {status}");
+
+    let chaos_dir = root.join("chaos");
+    // Half the kill budget: the sharded soak triples the per-cell event
+    // count, and the unsharded soak above already covers the long tail.
+    let kills = chaos_loop(&config, &chaos_dir, kill_budget().div_ceil(2), 0xC0FFEE);
+
+    for artifact in ["cell_0.tsv", "cell_1.tsv", "cell_2.tsv", "summary.tsv"] {
+        let golden = fs::read(golden_dir.join(artifact))
+            .unwrap_or_else(|e| panic!("golden {artifact}: {e}"));
+        let chaos = fs::read(chaos_dir.join(artifact))
+            .unwrap_or_else(|e| panic!("chaos {artifact}: {e}"));
+        assert_eq!(
+            golden, chaos,
+            "{artifact} differs between uninterrupted and killed-and-resumed \
+             sharded sweeps ({kills} kills)"
+        );
+    }
     let _ = fs::remove_dir_all(&root);
 }
 

@@ -104,6 +104,65 @@ fn checkpoint_resume_reproduces_the_golden_bits() {
     assert!(report.run.audit_findings.is_empty());
 }
 
+fn sharded_golden_test(threads: u32) -> LoadTest {
+    LoadTest::new(Arc::new(Memcached::default()), 150_000.0)
+        .clients(2)
+        .duration(SimDuration::from_millis(80))
+        .warmup(SimDuration::from_millis(20))
+        .seed(42)
+        .servers(4)
+        .remote_every(4)
+        .threads(threads)
+}
+
+#[test]
+fn sharded_run_is_bit_identical_across_thread_counts() {
+    // The headline guarantee of the parallel executor: thread count is
+    // a pure performance knob. Same seed → same bits at 1, 2 and 8
+    // workers, down to every individual record.
+    let base = sharded_golden_test(1).run(0);
+    assert_eq!(base.run.client_records.len(), 8, "4 servers × 2 clients");
+    assert!(base.run.total_responses() > 0);
+    for threads in [2u32, 8] {
+        let report = sharded_golden_test(threads).run(0);
+        assert_eq!(
+            report.aggregated.p50.to_bits(),
+            base.aggregated.p50.to_bits(),
+            "p50 drifted at {threads} threads"
+        );
+        assert_eq!(
+            report.aggregated.p99.to_bits(),
+            base.aggregated.p99.to_bits(),
+            "p99 drifted at {threads} threads"
+        );
+        assert_eq!(
+            report.aggregated.max.to_bits(),
+            base.aggregated.max.to_bits(),
+            "max drifted at {threads} threads"
+        );
+        assert_eq!(report.aggregated.count, base.aggregated.count);
+        assert_eq!(report.per_instance, base.per_instance);
+        assert_eq!(report.run.client_records, base.run.client_records);
+        assert_eq!(report.run.events_executed, base.run.events_executed);
+        assert_eq!(report.run.completed_at, base.run.completed_at);
+    }
+}
+
+#[test]
+fn one_server_sharded_run_matches_legacy_golden_bits() {
+    // A forced one-shard sharded run reuses the run seed verbatim and
+    // routes nothing across shards, so it must land on the exact same
+    // pinned bits as the legacy unsharded engine.
+    let report = golden_test().run_sharded(0);
+    let agg = &report.aggregated;
+    assert_eq!(agg.p50.to_bits(), 0x404dd74f1448d80b);
+    assert_eq!(agg.p99.to_bits(), 0x4061dba25512ec6a);
+    assert_eq!(agg.max.to_bits(), 0x40768db645a1cac1);
+    assert_eq!(agg.count, 22_378);
+    assert_eq!(report.run.total_responses(), 29_839);
+    assert_eq!(report.run.events_executed, 298_547);
+}
+
 #[test]
 fn distinct_run_indices_stay_distinct() {
     let test = golden_test();
