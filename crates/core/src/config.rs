@@ -13,6 +13,10 @@ use treadmill_workloads::{SpecError, WorkloadSpec};
 use crate::runner::LoadTest;
 
 /// Errors from load-test configuration.
+///
+/// `Invalid` is *typed*: it names the offending field, so an HTTP
+/// front-end can turn it into a structured 400 body instead of
+/// string-matching a message.
 #[derive(Debug)]
 pub enum ConfigError {
     /// Malformed JSON.
@@ -20,7 +24,32 @@ pub enum ConfigError {
     /// A workload-spec problem.
     Workload(SpecError),
     /// Semantically invalid settings.
-    Invalid(String),
+    Invalid {
+        /// The configuration field that failed validation.
+        field: &'static str,
+        /// Why the value is rejected.
+        message: String,
+    },
+}
+
+impl ConfigError {
+    /// A short machine-readable error kind (`json` / `workload` /
+    /// `invalid`) for structured error bodies.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ConfigError::Json(_) => "json",
+            ConfigError::Workload(_) => "workload",
+            ConfigError::Invalid { .. } => "invalid",
+        }
+    }
+
+    /// The offending field for `Invalid` errors.
+    pub fn field(&self) -> Option<&'static str> {
+        match self {
+            ConfigError::Invalid { field, .. } => Some(field),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ConfigError {
@@ -28,7 +57,9 @@ impl fmt::Display for ConfigError {
         match self {
             ConfigError::Json(e) => write!(f, "invalid load-test JSON: {e}"),
             ConfigError::Workload(e) => write!(f, "workload error: {e}"),
-            ConfigError::Invalid(msg) => write!(f, "invalid load test: {msg}"),
+            ConfigError::Invalid { field, message } => {
+                write!(f, "invalid load test: {field}: {message}")
+            }
         }
     }
 }
@@ -38,7 +69,7 @@ impl std::error::Error for ConfigError {
         match self {
             ConfigError::Json(e) => Some(e),
             ConfigError::Workload(e) => Some(e),
-            ConfigError::Invalid(_) => None,
+            ConfigError::Invalid { .. } => None,
         }
     }
 }
@@ -117,6 +148,25 @@ pub struct LoadTestConfig {
     pub retry: RetryPolicy,
 }
 
+/// Validation ceilings — generous enough for every benchmark world
+/// (the million-connection perf stage runs 100 servers x 8 clients x
+/// 1250 connections) while keeping a hostile or typo'd spec from
+/// sizing an absurd simulation. These bound the service's 400 path:
+/// anything past them is rejected before any allocation happens.
+pub const MAX_TARGET_RPS: f64 = 1e9;
+/// Upper bound on [`LoadTestConfig::clients`].
+pub const MAX_CLIENTS: usize = 4096;
+/// Upper bound on [`LoadTestConfig::connections_per_client`].
+pub const MAX_CONNECTIONS: u32 = 65_536;
+/// Upper bound on [`LoadTestConfig::duration_ms`] (24 hours).
+pub const MAX_DURATION_MS: u64 = 86_400_000;
+/// Upper bound on [`LoadTestConfig::servers`].
+pub const MAX_SERVERS: u32 = 4096;
+/// Upper bound on [`LoadTestConfig::threads`].
+pub const MAX_THREADS: u32 = 1024;
+/// Upper bound on clients x connections x servers.
+pub const MAX_TOTAL_CONNECTIONS: u64 = 16_777_216;
+
 fn default_clients() -> usize {
     8
 }
@@ -151,37 +201,107 @@ impl LoadTestConfig {
         serde_json::to_string_pretty(self).expect("config serialisation cannot fail")
     }
 
+    /// Validates every knob without building anything — the single
+    /// gate between untrusted input (a JSON file, an HTTP request
+    /// body) and the engine. Any configuration that passes here must
+    /// build and run without panicking; anything that could drive the
+    /// engine into a degenerate state (zero connections, NaN rates,
+    /// astronomically sized worlds) is rejected with a typed error
+    /// naming the field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Invalid`] naming the offending field and
+    /// [`ConfigError::Workload`] for workload-spec problems.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn invalid(field: &'static str, message: String) -> ConfigError {
+            ConfigError::Invalid { field, message }
+        }
+        if !self.target_rps.is_finite() || self.target_rps <= 0.0 {
+            return Err(invalid(
+                "target_rps",
+                format!("must be positive and finite, got {}", self.target_rps),
+            ));
+        }
+        if self.target_rps > MAX_TARGET_RPS {
+            return Err(invalid(
+                "target_rps",
+                format!("must be at most {MAX_TARGET_RPS:.0}, got {}", self.target_rps),
+            ));
+        }
+        if self.clients == 0 || self.clients > MAX_CLIENTS {
+            return Err(invalid(
+                "clients",
+                format!("must be in 1..={MAX_CLIENTS}, got {}", self.clients),
+            ));
+        }
+        if self.connections_per_client == 0 || self.connections_per_client > MAX_CONNECTIONS {
+            return Err(invalid(
+                "connections_per_client",
+                format!(
+                    "must be in 1..={MAX_CONNECTIONS}, got {}",
+                    self.connections_per_client
+                ),
+            ));
+        }
+        if self.duration_ms == 0 || self.duration_ms > MAX_DURATION_MS {
+            return Err(invalid(
+                "duration_ms",
+                format!("must be in 1..={MAX_DURATION_MS}, got {}", self.duration_ms),
+            ));
+        }
+        if self.warmup_ms >= self.duration_ms {
+            return Err(invalid(
+                "warmup_ms",
+                format!(
+                    "warm-up ({} ms) must be shorter than the run ({} ms)",
+                    self.warmup_ms, self.duration_ms
+                ),
+            ));
+        }
+        if self.servers == 0 || self.servers > MAX_SERVERS {
+            return Err(invalid(
+                "servers",
+                format!("must be in 1..={MAX_SERVERS}, got {}", self.servers),
+            ));
+        }
+        if self.threads > MAX_THREADS {
+            return Err(invalid(
+                "threads",
+                format!("must be at most {MAX_THREADS}, got {}", self.threads),
+            ));
+        }
+        let total_connections = self.clients as u64
+            * u64::from(self.connections_per_client)
+            * u64::from(self.servers);
+        if total_connections > MAX_TOTAL_CONNECTIONS {
+            return Err(invalid(
+                "connections_per_client",
+                format!(
+                    "clients x connections x servers = {total_connections} exceeds the \
+                     {MAX_TOTAL_CONNECTIONS}-connection world budget"
+                ),
+            ));
+        }
+        self.faults
+            .validate()
+            .map_err(|message| invalid("faults", message))?;
+        self.retry
+            .validate()
+            .map_err(|message| invalid("retry", message))?;
+        self.workload.build()?;
+        Ok(())
+    }
+
     /// Builds the runnable [`LoadTest`].
     ///
     /// # Errors
     ///
     /// Returns [`ConfigError::Workload`] for workload problems and
-    /// [`ConfigError::Invalid`] for nonsensical settings.
+    /// [`ConfigError::Invalid`] for nonsensical settings — everything
+    /// [`LoadTestConfig::validate`] checks.
     pub fn build(&self) -> Result<LoadTest, ConfigError> {
-        if self.target_rps <= 0.0 {
-            return Err(ConfigError::Invalid(format!(
-                "target_rps must be positive, got {}",
-                self.target_rps
-            )));
-        }
-        if self.clients == 0 {
-            return Err(ConfigError::Invalid("clients must be at least 1".into()));
-        }
-        if self.servers == 0 {
-            return Err(ConfigError::Invalid("servers must be at least 1".into()));
-        }
-        if self.warmup_ms >= self.duration_ms {
-            return Err(ConfigError::Invalid(format!(
-                "warm-up ({} ms) must be shorter than the run ({} ms)",
-                self.warmup_ms, self.duration_ms
-            )));
-        }
-        self.faults
-            .validate()
-            .map_err(|msg| ConfigError::Invalid(format!("faults: {msg}")))?;
-        self.retry
-            .validate()
-            .map_err(|msg| ConfigError::Invalid(format!("retry: {msg}")))?;
+        self.validate()?;
         let workload: Arc<dyn treadmill_workloads::Workload> = self.workload.build()?;
         Ok(LoadTest::new(workload, self.target_rps)
             .clients(self.clients)
@@ -225,7 +345,7 @@ mod tests {
             r#"{ "workload": { "workload": "memcached" }, "target_rps": 1000, "servers": 0 }"#,
         )
         .unwrap();
-        assert!(matches!(config.build(), Err(ConfigError::Invalid(_))));
+        assert_eq!(config.build().unwrap_err().field(), Some("servers"));
     }
 
     #[test]
@@ -241,7 +361,56 @@ mod tests {
             r#"{ "workload": { "workload": "memcached" }, "target_rps": -5 }"#,
         )
         .unwrap();
-        assert!(matches!(config.build(), Err(ConfigError::Invalid(_))));
+        let err = config.build().unwrap_err();
+        assert!(matches!(err, ConfigError::Invalid { .. }));
+        assert_eq!(err.field(), Some("target_rps"));
+        assert_eq!(err.kind(), "invalid");
+    }
+
+    #[test]
+    fn nan_rate_rejected_by_validate() {
+        let mut config = LoadTestConfig::from_json(minimal_json()).unwrap();
+        config.target_rps = f64::NAN;
+        assert_eq!(config.validate().unwrap_err().field(), Some("target_rps"));
+        config.target_rps = f64::INFINITY;
+        assert_eq!(config.validate().unwrap_err().field(), Some("target_rps"));
+    }
+
+    #[test]
+    fn zero_connections_rejected() {
+        let mut config = LoadTestConfig::from_json(minimal_json()).unwrap();
+        config.connections_per_client = 0;
+        assert_eq!(
+            config.validate().unwrap_err().field(),
+            Some("connections_per_client")
+        );
+    }
+
+    #[test]
+    fn zero_duration_rejected() {
+        let mut config = LoadTestConfig::from_json(minimal_json()).unwrap();
+        config.duration_ms = 0;
+        config.warmup_ms = 0;
+        assert_eq!(config.validate().unwrap_err().field(), Some("duration_ms"));
+    }
+
+    #[test]
+    fn oversized_world_rejected() {
+        let mut config = LoadTestConfig::from_json(minimal_json()).unwrap();
+        config.clients = 4096;
+        config.connections_per_client = 65_536;
+        config.servers = 512;
+        assert_eq!(
+            config.validate().unwrap_err().field(),
+            Some("connections_per_client")
+        );
+    }
+
+    #[test]
+    fn fault_knobs_validated_with_field() {
+        let mut config = LoadTestConfig::from_json(minimal_json()).unwrap();
+        config.faults.uplink_loss = 1.5;
+        assert_eq!(config.validate().unwrap_err().field(), Some("faults"));
     }
 
     #[test]

@@ -73,4 +73,7 @@ pub use resumable::{ResumableRun, TailMonitor};
 pub use runner::{
     LoadTest, LoadTestReport, RerunPolicy, RobustRunOutcome, RunDegradation,
 };
-pub use sweep::{run_sweep, SweepError, SweepOptions, SweepOutcome};
+pub use sweep::{
+    run_sweep, run_sweep_controlled, SweepControl, SweepError, SweepEvent, SweepOptions,
+    SweepOutcome,
+};

@@ -66,13 +66,21 @@ impl TailMonitor {
         self.stats.mean()
     }
 
-    /// The P² running p99 estimate (µs).
+    /// The P² running p99 estimate (µs). NaN until the first sample
+    /// lands — an early checkpoint (mid-warmup, say) has no tail yet,
+    /// and a monitoring read must not abort the sweep.
     pub fn p99_us(&self) -> f64 {
+        if self.stats.count() == 0 {
+            return f64::NAN;
+        }
         self.p99.estimate()
     }
 
-    /// A histogram quantile estimate (µs).
+    /// A histogram quantile estimate (µs); NaN before the first sample.
     pub fn quantile_us(&self, p: f64) -> f64 {
+        if self.stats.count() == 0 {
+            return f64::NAN;
+        }
         self.histogram.quantile(p)
     }
 

@@ -29,14 +29,101 @@ use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use serde::{Deserialize, Serialize};
 use treadmill_sim_core::fnv1a64;
 
+use crate::aggregation::tail_composition;
 use crate::config::{ConfigError, LoadTestConfig};
 use crate::report::health_warnings;
 use crate::resumable::ResumableRun;
 use crate::runner::LoadTestReport;
+
+/// Progress notifications emitted by [`run_sweep_controlled`] as the
+/// sweep advances — the hook a long-running service uses to stream
+/// per-cell status to clients without polling artifact files.
+#[derive(Debug, Clone)]
+pub enum SweepEvent {
+    /// A cell was skipped because the journal already marks it done.
+    CellSkipped {
+        /// Cell index.
+        cell: u64,
+    },
+    /// A cell started executing (fresh or from a checkpoint).
+    CellStarted {
+        /// Cell index.
+        cell: u64,
+        /// The cell's derived seed.
+        seed: u64,
+        /// Events already executed when (re)starting — 0 for a fresh
+        /// cell, the checkpoint position for a resumed one.
+        resumed_at_events: u64,
+    },
+    /// A checkpoint of the running cell was sealed to disk.
+    Checkpointed {
+        /// Cell index.
+        cell: u64,
+        /// Events executed so far.
+        events: u64,
+        /// Post-warm-up samples folded into the tail monitor so far.
+        samples: u64,
+        /// The live streaming p99 estimate (µs).
+        p99_us: f64,
+    },
+    /// A cell finished and its artifacts were written.
+    CellDone {
+        /// Cell index.
+        cell: u64,
+        /// Measurement-window samples in the aggregate.
+        samples: u64,
+        /// The cell's aggregated p99 (µs).
+        p99_us: f64,
+    },
+    /// The sweep stopped early because cancellation was requested. The
+    /// in-flight cell's checkpoint is sealed; `--resume` continues it.
+    Interrupted {
+        /// The cell that was in flight (if any was running).
+        cell: Option<u64>,
+    },
+}
+
+/// Cooperative control handles for [`run_sweep_controlled`].
+///
+/// `cancel` is polled at every checkpoint boundary and between cells;
+/// once observed `true`, the sweep seals the in-flight checkpoint,
+/// flushes the journal (appends are fsynced as written), and returns
+/// with [`SweepOutcome::interrupted`] set — exactly the state a SIGKILL
+/// would leave, minus the lost batch. `progress` receives a
+/// [`SweepEvent`] for every state transition.
+#[derive(Default)]
+pub struct SweepControl<'a> {
+    /// Cancellation flag shared with a signal handler or drain path.
+    pub cancel: Option<&'a AtomicBool>,
+    /// Progress sink.
+    pub progress: Option<&'a mut dyn FnMut(SweepEvent)>,
+}
+
+impl fmt::Debug for SweepControl<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SweepControl")
+            .field("cancel", &self.cancel.map(|c| c.load(Ordering::Relaxed)))
+            .field("progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl SweepControl<'_> {
+    fn cancelled(&self) -> bool {
+        self.cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
+    fn emit(&mut self, event: SweepEvent) {
+        if let Some(progress) = self.progress.as_deref_mut() {
+            progress(event);
+        }
+    }
+}
 
 /// Knobs for [`run_sweep`].
 #[derive(Debug, Clone, Copy)]
@@ -83,6 +170,10 @@ pub struct SweepOutcome {
     pub warnings: Vec<String>,
     /// Path of the sweep summary artifact.
     pub summary_path: PathBuf,
+    /// True if the sweep stopped early on a cancellation request. The
+    /// journal and the in-flight cell's checkpoint are sealed; running
+    /// again with [`SweepOptions::resume`] continues where it stopped.
+    pub interrupted: bool,
 }
 
 /// Errors from sweep orchestration.
@@ -309,7 +400,88 @@ fn ckpt_path(out_dir: &Path, cell: u64) -> PathBuf {
     out_dir.join(format!("cell_{cell}.ckpt"))
 }
 
+fn attr_path(out_dir: &Path, cell: u64) -> PathBuf {
+    out_dir.join(format!("cell_{cell}.attr.tsv"))
+}
+
+/// The quantiles the per-cell attribution artifact decomposes.
+const ATTRIBUTION_QUANTILES: [f64; 4] = [0.5, 0.9, 0.99, 0.999];
+
+/// Renders one cell's tail-attribution artifact: for each quantile,
+/// which instance the pooled tail samples come from (the paper's
+/// Figure 2 decomposition, the "source" in *attributing the source of
+/// tail latency*). Pure function of the report, so killed-and-resumed
+/// sweeps reproduce it byte-for-byte.
+fn attribution_tsv(
+    cell: u64,
+    seed: u64,
+    config_hash: &str,
+    per_client: &[Vec<f64>],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&provenance_line(seed, config_hash));
+    out.push('\n');
+    out.push_str(&format!("# cell={cell}\n"));
+    out.push_str("cell\tquantile\tlatency_us");
+    for i in 0..per_client.len() {
+        out.push_str(&format!("\tshare_instance_{i}"));
+    }
+    out.push('\n');
+    if per_client.iter().all(|v| v.is_empty()) {
+        return out;
+    }
+    for row in tail_composition(per_client, &ATTRIBUTION_QUANTILES) {
+        out.push_str(&format!("{cell}\t{:.4}\t{:.6}", row.quantile, row.latency_us));
+        for share in &row.shares {
+            out.push_str(&format!("\t{share:.6}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Concatenates the per-cell attribution artifacts into one sweep-wide
+/// `attribution.tsv`. Skipped (already-done) cells contribute their
+/// on-disk rows, so a resumed sweep reconstructs the aggregate without
+/// re-running anything.
+fn aggregate_attribution(
+    out_dir: &Path,
+    master_seed: u64,
+    config_hash: &str,
+    runs: u64,
+    warnings: &mut Vec<String>,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&provenance_line(master_seed, config_hash));
+    out.push('\n');
+    let mut wrote_header = false;
+    for cell in 0..runs {
+        let Ok(text) = fs::read_to_string(attr_path(out_dir, cell)) else {
+            warnings.push(format!(
+                "cell {cell}: attribution artifact missing; aggregate omits it"
+            ));
+            continue;
+        };
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let is_header = line.starts_with("cell\t");
+            if is_header {
+                if wrote_header {
+                    continue;
+                }
+                wrote_header = true;
+            }
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
 /// Executes (or resumes) a sweep of `opts.runs` cells into `out_dir`.
+/// [`run_sweep_controlled`] with no cancellation or progress hooks.
 ///
 /// # Errors
 ///
@@ -321,6 +493,22 @@ pub fn run_sweep(
     config: &LoadTestConfig,
     out_dir: &Path,
     opts: &SweepOptions,
+) -> Result<SweepOutcome, SweepError> {
+    run_sweep_controlled(config, out_dir, opts, &mut SweepControl::default())
+}
+
+/// [`run_sweep`] with cooperative cancellation and progress reporting —
+/// the entry point `treadmill-serve` and the signal-handling CLI use.
+///
+/// # Errors
+///
+/// Same as [`run_sweep`]. Cancellation is *not* an error: the outcome
+/// comes back `Ok` with [`SweepOutcome::interrupted`] set.
+pub fn run_sweep_controlled(
+    config: &LoadTestConfig,
+    out_dir: &Path,
+    opts: &SweepOptions,
+    ctrl: &mut SweepControl<'_>,
 ) -> Result<SweepOutcome, SweepError> {
     let test = config.build()?;
     let config_hash = format!("{:016x}", fnv1a64(config.to_json().as_bytes()));
@@ -370,11 +558,17 @@ pub fn run_sweep(
     // every cell — see `ResumableRun::checkpoint_into`.
     let mut ckpt_buf = Vec::new();
 
-    for cell in 0..opts.runs {
+    'cells: for cell in 0..opts.runs {
         let seed = test.derive_run_seed(cell);
         if manifest.done.contains_key(&cell) {
             outcome.skipped.push(cell);
+            ctrl.emit(SweepEvent::CellSkipped { cell });
             continue;
+        }
+        if ctrl.cancelled() {
+            outcome.interrupted = true;
+            ctrl.emit(SweepEvent::Interrupted { cell: None });
+            break 'cells;
         }
 
         let checkpoint_file = ckpt_path(out_dir, cell);
@@ -416,10 +610,17 @@ pub fn run_sweep(
                 ResumableRun::new(test.clone(), cell)
             }
         };
+        ctrl.emit(SweepEvent::CellStarted {
+            cell,
+            seed,
+            resumed_at_events: run.events_executed(),
+        });
 
         // The crash-tolerance loop: execute a batch, persist a
         // checkpoint, audit. A SIGKILL between any two statements loses
-        // at most one batch of work.
+        // at most one batch of work; a cancellation request observed
+        // here returns with the just-sealed checkpoint as the resume
+        // point.
         while run.step(opts.ckpt_events) > 0 {
             if run.is_finished() {
                 break;
@@ -428,6 +629,22 @@ pub fn run_sweep(
             write_atomic(&checkpoint_file, &ckpt_buf)?;
             for finding in run.audit(opts.max_pending) {
                 outcome.warnings.push(format!("cell {cell}: auditor: {finding}"));
+            }
+            ctrl.emit(SweepEvent::Checkpointed {
+                cell,
+                events: run.events_executed(),
+                samples: run.tail().count(),
+                p99_us: run.tail().p99_us(),
+            });
+            if ctrl.cancelled() {
+                outcome.interrupted = true;
+                outcome.warnings.push(format!(
+                    "cell {cell}: interrupted at {} events; checkpoint sealed — \
+                     resume with --resume",
+                    run.events_executed()
+                ));
+                ctrl.emit(SweepEvent::Interrupted { cell: Some(cell) });
+                break 'cells;
             }
         }
 
@@ -445,6 +662,10 @@ pub fn run_sweep(
             &out_dir.join(format!("cell_{cell}.tsv")),
             cell_tsv(cell, seed, &config_hash, &report).as_bytes(),
         )?;
+        write_atomic(
+            &attr_path(out_dir, cell),
+            attribution_tsv(cell, seed, &config_hash, &test.raw_latencies(&report)).as_bytes(),
+        )?;
         append_journal(
             &manifest_path,
             &ManifestLine {
@@ -456,14 +677,32 @@ pub fn run_sweep(
             },
         )?;
         let _ = fs::remove_file(&checkpoint_file);
+        let (samples, p99_us) = (result.samples, from_bits(&result.p99_bits));
         summary_cells.insert(cell, (seed, result));
         outcome.executed.push(cell);
+        ctrl.emit(SweepEvent::CellDone {
+            cell,
+            samples,
+            p99_us,
+        });
     }
 
     write_atomic(
         &outcome.summary_path,
         summary_tsv(config.seed, &config_hash, &summary_cells).as_bytes(),
     )?;
+    if !outcome.interrupted {
+        // The sweep-wide attribution aggregate is only meaningful (and
+        // only byte-stable) once every cell has contributed its rows.
+        let attribution = aggregate_attribution(
+            out_dir,
+            config.seed,
+            &config_hash,
+            opts.runs,
+            &mut outcome.warnings,
+        );
+        write_atomic(&out_dir.join("attribution.tsv"), attribution.as_bytes())?;
+    }
     Ok(outcome)
 }
 
@@ -506,6 +745,7 @@ mod tests {
         let outcome = run_sweep(&small_config(), &dir, &opts(2)).expect("sweep");
         assert_eq!(outcome.executed, vec![0, 1]);
         assert!(outcome.skipped.is_empty());
+        assert!(!outcome.interrupted);
         for cell in 0..2 {
             let text =
                 fs::read_to_string(dir.join(format!("cell_{cell}.tsv"))).expect("cell artifact");
@@ -513,9 +753,20 @@ mod tests {
             assert!(text.contains("config_hash="));
             assert!(text.contains("aggregate\t"));
             assert!(!dir.join(format!("cell_{cell}.ckpt")).exists());
+            let attr = fs::read_to_string(dir.join(format!("cell_{cell}.attr.tsv")))
+                .expect("attribution artifact");
+            assert!(attr.starts_with("# seed="), "attr provenance: {attr}");
+            assert!(attr.contains("share_instance_0"), "{attr}");
         }
         let summary = fs::read_to_string(dir.join("summary.tsv")).expect("summary");
         assert_eq!(summary.lines().count(), 2 + 2, "header lines + one row per cell");
+        let attribution = fs::read_to_string(dir.join("attribution.tsv")).expect("attribution");
+        // Provenance + one column header + one row per quantile per cell.
+        assert_eq!(
+            attribution.lines().count(),
+            2 + 2 * ATTRIBUTION_QUANTILES.len(),
+            "{attribution}"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -535,12 +786,90 @@ mod tests {
         assert_eq!(outcome.skipped, vec![0]);
         assert_eq!(outcome.executed, vec![1, 2]);
 
-        for artifact in ["cell_0.tsv", "cell_1.tsv", "cell_2.tsv", "summary.tsv"] {
+        for artifact in [
+            "cell_0.tsv",
+            "cell_1.tsv",
+            "cell_2.tsv",
+            "cell_0.attr.tsv",
+            "summary.tsv",
+            "attribution.tsv",
+        ] {
             let golden = fs::read(golden_dir.join(artifact)).expect("golden artifact");
             let resumed = fs::read(dir.join(artifact)).expect("resumed artifact");
             assert_eq!(golden, resumed, "{artifact} differs after resume");
         }
         let _ = fs::remove_dir_all(&golden_dir);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_sweep_seals_checkpoint_and_resumes_bit_identical() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let golden_dir = tempdir("golden-cancel");
+        run_sweep(&small_config(), &golden_dir, &opts(2)).expect("golden sweep");
+
+        // Cancel at the first checkpoint of cell 0 — the graceful
+        // SIGTERM path: the sweep returns Ok, interrupted, with the
+        // checkpoint sealed and the journal still marking cell 0
+        // running.
+        let dir = tempdir("cancel");
+        let cancel = AtomicBool::new(false);
+        let mut flip = |event: SweepEvent| {
+            if matches!(event, SweepEvent::Checkpointed { .. }) {
+                cancel.store(true, Ordering::Relaxed);
+            }
+        };
+        let mut ctrl = SweepControl {
+            cancel: Some(&cancel),
+            progress: Some(&mut flip),
+        };
+        let outcome =
+            run_sweep_controlled(&small_config(), &dir, &opts(2), &mut ctrl).expect("sweep");
+        assert!(outcome.interrupted);
+        assert!(outcome.executed.is_empty());
+        assert!(dir.join("cell_0.ckpt").exists(), "checkpoint must be sealed");
+
+        // Resume without cancellation: byte-identical to the golden.
+        let resumed_opts = SweepOptions {
+            resume: true,
+            ..opts(2)
+        };
+        let outcome = run_sweep(&small_config(), &dir, &resumed_opts).expect("resume");
+        assert_eq!(outcome.resumed_cell, Some(0));
+        assert!(!outcome.interrupted);
+        for artifact in ["cell_0.tsv", "cell_1.tsv", "summary.tsv", "attribution.tsv"] {
+            let golden = fs::read(golden_dir.join(artifact)).expect("golden artifact");
+            let resumed = fs::read(dir.join(artifact)).expect("resumed artifact");
+            assert_eq!(golden, resumed, "{artifact} differs after cancel+resume");
+        }
+        let _ = fs::remove_dir_all(&golden_dir);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn progress_events_cover_the_cell_lifecycle() {
+        let dir = tempdir("events");
+        let mut events: Vec<String> = Vec::new();
+        let mut sink = |event: SweepEvent| {
+            events.push(match event {
+                SweepEvent::CellSkipped { cell } => format!("skip {cell}"),
+                SweepEvent::CellStarted { cell, .. } => format!("start {cell}"),
+                SweepEvent::Checkpointed { cell, .. } => format!("ckpt {cell}"),
+                SweepEvent::CellDone { cell, .. } => format!("done {cell}"),
+                SweepEvent::Interrupted { .. } => "interrupted".to_string(),
+            });
+        };
+        let mut ctrl = SweepControl {
+            cancel: None,
+            progress: Some(&mut sink),
+        };
+        run_sweep_controlled(&small_config(), &dir, &opts(2), &mut ctrl).expect("sweep");
+        assert!(events.contains(&"start 0".to_string()), "{events:?}");
+        assert!(events.contains(&"done 0".to_string()), "{events:?}");
+        assert!(events.contains(&"start 1".to_string()), "{events:?}");
+        assert!(events.contains(&"done 1".to_string()), "{events:?}");
+        assert!(events.iter().any(|e| e.starts_with("ckpt")), "{events:?}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,170 @@
+//! Minimal HTTP/1.1 client for the CLI's `submit` / `status` /
+//! `fetch` subcommands and the test suites. One request per
+//! connection, `Connection: close`, timeouts on every socket
+//! operation, chunked responses decoded transparently.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Header name/value pairs, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Body, de-chunked when the server streamed it.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as (lossy) text.
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn bad_data(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+/// Issues one request and reads the full response.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+    timeout: Duration,
+) -> io::Result<HttpResponse> {
+    let addr: SocketAddr = addr
+        .parse()
+        .map_err(|_| bad_data("address must be host:port"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> io::Result<HttpResponse> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad_data("no header terminator"))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| bad_data("non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad_data("empty response"))?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| bad_data("bad status line"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((
+                name.trim().to_ascii_lowercase(),
+                value.trim().to_string(),
+            ));
+        }
+    }
+    let raw_body = &raw[head_end + 4..];
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        dechunk(raw_body)?
+    } else {
+        raw_body.to_vec()
+    };
+    Ok(HttpResponse { status, headers, body })
+}
+
+fn dechunk(mut raw: &[u8]) -> io::Result<Vec<u8>> {
+    let mut out = Vec::new();
+    loop {
+        let line_end = raw
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .ok_or_else(|| bad_data("chunk size line missing"))?;
+        let size_text = std::str::from_utf8(&raw[..line_end])
+            .map_err(|_| bad_data("non-UTF-8 chunk size"))?;
+        let size = usize::from_str_radix(size_text.trim(), 16)
+            .map_err(|_| bad_data("bad chunk size"))?;
+        raw = &raw[line_end + 2..];
+        if size == 0 {
+            return Ok(out);
+        }
+        if raw.len() < size + 2 {
+            return Err(bad_data("truncated chunk"));
+        }
+        out.extend_from_slice(&raw[..size]);
+        raw = &raw[size + 2..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_response() {
+        let resp = parse_response(
+            b"HTTP/1.1 201 Created\r\nContent-Type: application/json\r\n\
+              Content-Length: 2\r\n\r\n{}",
+        )
+        .unwrap();
+        assert_eq!(resp.status, 201);
+        assert_eq!(resp.header("content-type"), Some("application/json"));
+        assert_eq!(resp.body, b"{}");
+    }
+
+    #[test]
+    fn dechunks_streamed_response() {
+        let resp = parse_response(
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n\
+              5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(resp.text(), "hello world");
+    }
+
+    #[test]
+    fn truncated_chunk_is_typed_error() {
+        let err = parse_response(
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\nff\r\nshort",
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

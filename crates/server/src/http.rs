@@ -1,0 +1,291 @@
+//! Dependency-free HTTP/1.1 parsing and response writing.
+//!
+//! Deliberately minimal: one request per connection
+//! (`Connection: close`), hard caps on head and body size, and typed
+//! errors so the worker can map malformed input to `4xx` instead of
+//! panicking. Both sides of the socket run under read/write timeouts
+//! set by the acceptor, so no request can block a worker past its
+//! budget.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard cap on a request body (experiment specs are small JSON).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP/1.1 request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), uppercase as received.
+    pub method: String,
+    /// Request path with any `?query` suffix stripped.
+    pub path: String,
+    /// Header name/value pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The socket timed out mid-read (maps to `408`).
+    Timeout,
+    /// The peer closed before sending anything.
+    Closed,
+    /// A size cap was exceeded (maps to `413`).
+    TooLarge(&'static str),
+    /// The bytes did not parse as HTTP/1.1 (maps to `400`).
+    Malformed(&'static str),
+    /// Some other socket error.
+    Io(io::Error),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Timeout => write!(f, "socket timeout"),
+            HttpError::Closed => write!(f, "connection closed"),
+            HttpError::TooLarge(what) => write!(f, "{what} exceeds cap"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+fn map_io(e: io::Error) -> HttpError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => HttpError::Timeout,
+        _ => HttpError::Io(e),
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reads and parses one request from `stream`. Relies on the socket's
+/// read timeout to bound the wait; a slow-loris peer gets
+/// [`HttpError::Timeout`], an oversized one [`HttpError::TooLarge`].
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("request head"));
+        }
+        let n = stream.read(&mut chunk).map_err(map_io)?;
+        if n == 0 {
+            return Err(if buf.is_empty() {
+                HttpError::Closed
+            } else {
+                HttpError::Malformed("truncated head")
+            });
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::Malformed("non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().ok_or(HttpError::Malformed("empty head"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(HttpError::Malformed("missing method"))?
+        .to_string();
+    let raw_path = parts.next().ok_or(HttpError::Malformed("missing path"))?;
+    let version = parts.next().ok_or(HttpError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("unsupported HTTP version"));
+    }
+    let path = raw_path
+        .split('?')
+        .next()
+        .unwrap_or(raw_path)
+        .to_string();
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::Malformed("header without colon"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        if headers.len() > 64 {
+            return Err(HttpError::TooLarge("header count"));
+        }
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::Malformed("bad content-length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge("request body"));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(map_io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("truncated body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request { method, path, headers, body })
+}
+
+/// Reason phrase for the status codes this service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response with `Content-Length` and
+/// `Connection: close`. `extra` headers are appended verbatim.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    extra: &[(&str, &str)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Starts a chunked (`Transfer-Encoding: chunked`) response; follow
+/// with [`write_chunk`] calls and a final [`end_chunked`].
+pub fn start_chunked(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
+         Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        reason(status)
+    );
+    stream.write_all(head.as_bytes())
+}
+
+/// Writes one chunk. Empty input is skipped (a zero-length chunk would
+/// terminate the stream).
+pub fn write_chunk(stream: &mut TcpStream, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(stream, "{:x}\r\n", data.len())?;
+    stream.write_all(data)?;
+    stream.write_all(b"\r\n")?;
+    stream.flush()
+}
+
+/// Terminates a chunked response.
+pub fn end_chunked(stream: &mut TcpStream) -> io::Result<()> {
+    stream.write_all(b"0\r\n\r\n")?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::thread;
+
+    fn roundtrip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let result = read_request(&mut stream);
+        writer.join().unwrap();
+        result
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = roundtrip(
+            b"POST /experiments?x=1 HTTP/1.1\r\nHost: h\r\n\
+              Idempotency-Key: k1\r\nContent-Length: 4\r\n\r\nbody",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/experiments");
+        assert_eq!(req.header("idempotency-key"), Some("k1"));
+        assert_eq!(req.header("IDEMPOTENCY-KEY"), Some("k1"));
+        assert_eq!(req.body, b"body");
+    }
+
+    #[test]
+    fn rejects_gibberish_with_typed_error() {
+        let err = roundtrip(b"this is not http\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::Malformed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = roundtrip(raw.as_bytes()).unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge("request body")), "{err:?}");
+    }
+}

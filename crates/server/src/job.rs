@@ -1,0 +1,267 @@
+//! Experiment specifications and job lifecycle states.
+//!
+//! An [`ExperimentSpec`] is the `POST /experiments` body: a
+//! [`LoadTestConfig`] plus sweep-level knobs. Validation is front-
+//! loaded — [`ExperimentSpec::validate`] composes the engine's typed
+//! [`LoadTestConfig::validate`] with service-level caps so the `400`
+//! path names the offending field and nothing invalid ever reaches a
+//! worker thread.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use treadmill_core::sweep::DEFAULT_CKPT_EVENTS;
+use treadmill_core::{ConfigError, LoadTestConfig};
+use treadmill_sim_core::fnv1a64;
+
+/// Ceiling on the repeated-run count of one submission.
+pub const MAX_RUNS_PER_JOB: u64 = 64;
+/// Floor on the checkpoint interval — tighter intervals make the
+/// snapshot cost dominate the run.
+pub const MIN_CKPT_EVENTS: u64 = 1_000;
+
+fn default_runs() -> u64 {
+    6
+}
+
+fn default_ckpt_events() -> u64 {
+    DEFAULT_CKPT_EVENTS
+}
+
+/// One submitted experiment: a load-test configuration plus sweep
+/// orchestration knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// The load-test configuration to sweep.
+    pub config: LoadTestConfig,
+    /// Repeated-run cells to execute (the paper's repeated-run
+    /// procedure; defaults to 6).
+    #[serde(default = "default_runs")]
+    pub runs: u64,
+    /// Events between checkpoints of the running cell.
+    #[serde(default = "default_ckpt_events")]
+    pub ckpt_events: u64,
+}
+
+/// Why a submission was rejected — the typed `4xx` body.
+#[derive(Debug)]
+pub enum SpecError {
+    /// The body was not valid JSON for the spec shape.
+    Json(serde_json::Error),
+    /// The embedded configuration failed engine validation.
+    Config(ConfigError),
+    /// A service-level knob is out of range.
+    Invalid {
+        /// Offending field.
+        field: &'static str,
+        /// Why it is rejected.
+        message: String,
+    },
+}
+
+impl SpecError {
+    /// Machine-readable error kind for structured bodies.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SpecError::Json(_) => "json",
+            SpecError::Config(e) => e.kind(),
+            SpecError::Invalid { .. } => "invalid",
+        }
+    }
+
+    /// The offending field, when one can be named.
+    pub fn field(&self) -> Option<&'static str> {
+        match self {
+            SpecError::Json(_) => None,
+            SpecError::Config(e) => e.field(),
+            SpecError::Invalid { field, .. } => Some(field),
+        }
+    }
+
+    /// Renders the structured JSON error body served on the `400` path.
+    pub fn to_json_body(&self) -> Vec<u8> {
+        let error = crate::jsonx::Obj::new()
+            .str("kind", self.kind())
+            .opt_str("field", self.field())
+            .str("message", &self.to_string())
+            .build();
+        crate::jsonx::Obj::new().raw("error", &error).build().into_bytes()
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Json(e) => write!(f, "invalid experiment JSON: {e}"),
+            SpecError::Config(e) => write!(f, "{e}"),
+            SpecError::Invalid { field, message } => {
+                write!(f, "invalid experiment: {field}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecError::Json(e) => Some(e),
+            SpecError::Config(e) => Some(e),
+            SpecError::Invalid { .. } => None,
+        }
+    }
+}
+
+impl ExperimentSpec {
+    /// Parses and validates a submission body.
+    pub fn from_json(body: &str) -> Result<Self, SpecError> {
+        let spec: ExperimentSpec =
+            serde_json::from_str(body).map_err(SpecError::Json)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Validates the spec: engine-level config checks plus service
+    /// caps on `runs` and `ckpt_events`.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        self.config.validate().map_err(SpecError::Config)?;
+        if self.runs == 0 || self.runs > MAX_RUNS_PER_JOB {
+            return Err(SpecError::Invalid {
+                field: "runs",
+                message: format!(
+                    "must be 1..={MAX_RUNS_PER_JOB}, got {}",
+                    self.runs
+                ),
+            });
+        }
+        if self.ckpt_events < MIN_CKPT_EVENTS {
+            return Err(SpecError::Invalid {
+                field: "ckpt_events",
+                message: format!(
+                    "must be >= {MIN_CKPT_EVENTS}, got {}",
+                    self.ckpt_events
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Compact canonical JSON, stored verbatim in the job journal.
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(self).unwrap_or_default()
+    }
+
+    /// The configuration hash journaled by the sweep — same formula as
+    /// `core/src/sweep.rs`, so the audit log and the sweep manifest
+    /// agree.
+    pub fn config_hash(&self) -> String {
+        format!("{:016x}", fnv1a64(self.config.to_json().as_bytes()))
+    }
+}
+
+/// Job lifecycle states, journaled on every transition.
+///
+/// ```text
+/// queued ──> running ──> done
+///               │
+///               └──────> failed
+/// ```
+///
+/// A drain or crash leaves a job `running`; restart with `--resume`
+/// re-enqueues it and the sweep continues from its checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Admitted, waiting for the executor.
+    Queued,
+    /// The executor is running (or was running at crash time).
+    Running,
+    /// All cells finished; artifacts are complete.
+    Done,
+    /// The sweep returned an error; see the job's `detail`.
+    Failed,
+}
+
+impl JobStatus {
+    /// Journal encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+        }
+    }
+
+    /// Inverse of [`JobStatus::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "queued" => Some(JobStatus::Queued),
+            "running" => Some(JobStatus::Running),
+            "done" => Some(JobStatus::Done),
+            "failed" => Some(JobStatus::Failed),
+            _ => None,
+        }
+    }
+
+    /// True for states that will never change again.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobStatus::Done | JobStatus::Failed)
+    }
+}
+
+impl fmt::Display for JobStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_json(rps: &str) -> String {
+        format!(
+            r#"{{"config":{{"workload":{{"workload":"memcached"}},
+                 "target_rps":{rps},"clients":2,"connections_per_client":4,
+                 "duration_ms":40,"warmup_ms":10,"seed":7}},"runs":2}}"#
+        )
+    }
+
+    #[test]
+    fn valid_spec_parses_with_defaults() {
+        let spec = ExperimentSpec::from_json(&spec_json("50000")).unwrap();
+        assert_eq!(spec.runs, 2);
+        assert_eq!(spec.ckpt_events, DEFAULT_CKPT_EVENTS);
+        assert_eq!(spec.config_hash().len(), 16);
+    }
+
+    #[test]
+    fn bad_config_is_typed_not_panicking() {
+        let err = ExperimentSpec::from_json(&spec_json("-1")).unwrap_err();
+        assert_eq!(err.kind(), "invalid");
+        assert_eq!(err.field(), Some("target_rps"));
+        let body = String::from_utf8(err.to_json_body()).unwrap();
+        assert!(body.contains("\"kind\":\"invalid\""), "{body}");
+    }
+
+    #[test]
+    fn runs_cap_enforced() {
+        let mut spec = ExperimentSpec::from_json(&spec_json("50000")).unwrap();
+        spec.runs = MAX_RUNS_PER_JOB + 1;
+        let err = spec.validate().unwrap_err();
+        assert_eq!(err.field(), Some("runs"));
+    }
+
+    #[test]
+    fn status_roundtrips() {
+        for s in [
+            JobStatus::Queued,
+            JobStatus::Running,
+            JobStatus::Done,
+            JobStatus::Failed,
+        ] {
+            assert_eq!(JobStatus::parse(s.as_str()), Some(s));
+        }
+        assert!(JobStatus::Done.is_terminal());
+        assert!(!JobStatus::Running.is_terminal());
+    }
+}

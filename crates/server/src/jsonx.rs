@@ -1,0 +1,130 @@
+//! Tiny JSON object writer.
+//!
+//! The vendored `serde_json` shim deliberately exposes only
+//! derive-driven (de)serialisation — no `json!` macro and no value
+//! builder — so the handful of ad-hoc response/audit bodies this
+//! service emits are assembled with this escaping string builder
+//! instead. Output is always a single-line JSON object.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` into `out` per RFC 8259 (quotes, backslash, control
+/// characters).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Incremental `{...}` writer; fields appear in insertion order.
+#[derive(Debug, Default)]
+pub struct Obj {
+    buf: String,
+}
+
+impl Obj {
+    /// An empty object.
+    pub fn new() -> Self {
+        Obj { buf: String::from("{") }
+    }
+
+    fn sep(&mut self) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        self.sep();
+        self.buf.push('"');
+        escape_into(&mut self.buf, name);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    #[must_use]
+    pub fn str(mut self, name: &str, value: &str) -> Self {
+        self.key(name);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds a string-or-null field.
+    #[must_use]
+    pub fn opt_str(mut self, name: &str, value: Option<&str>) -> Self {
+        match value {
+            Some(value) => self.str(name, value),
+            None => {
+                self.key(name);
+                self.buf.push_str("null");
+                self
+            }
+        }
+    }
+
+    /// Adds an unsigned integer field.
+    #[must_use]
+    pub fn u64(mut self, name: &str, value: u64) -> Self {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a boolean field.
+    #[must_use]
+    pub fn bool(mut self, name: &str, value: bool) -> Self {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a nested pre-rendered JSON value verbatim.
+    #[must_use]
+    pub fn raw(mut self, name: &str, rendered: &str) -> Self {
+        self.key(name);
+        self.buf.push_str(rendered);
+        self
+    }
+
+    /// Closes and returns the object text.
+    #[must_use]
+    pub fn build(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_escapes() {
+        let text = Obj::new()
+            .str("a", "x\"y\\z\n")
+            .u64("n", 7)
+            .bool("b", true)
+            .opt_str("missing", None)
+            .raw("nested", &Obj::new().str("k", "v").build())
+            .build();
+        assert_eq!(
+            text,
+            r#"{"a":"x\"y\\z\n","n":7,"b":true,"missing":null,"nested":{"k":"v"}}"#
+        );
+        // The shim parser accepts what we emit.
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(value["nested"]["k"].as_str(), Some("v"));
+    }
+}

@@ -23,14 +23,30 @@
 //! treadmill-cli screen <memcached|mcrouter> [--rps R] [--runs N] [--seed S]
 //!     Randomised factor screening (§IV-B): which factors measurably
 //!     move p99 at this load?
+//!
+//! treadmill-cli submit <spec.json> --addr HOST:PORT [--key K]
+//!     Submit an experiment spec to a running treadmill-serve (with an
+//!     optional idempotency key) and print the assigned job id.
+//!
+//! treadmill-cli status <job-id> --addr HOST:PORT
+//!     Print a submitted experiment's status JSON.
+//!
+//! treadmill-cli fetch <job-id> --addr HOST:PORT [--artifact NAME] [--out FILE]
+//!     Fetch a finished experiment's artifact (default: attribution)
+//!     to stdout or FILE.
 //! ```
+//!
+//! `sweep` installs SIGINT/SIGTERM handlers: an interrupted sweep
+//! seals the in-flight checkpoint and flushes the journal before
+//! exiting, so `--resume` continues it exactly like a crashed one.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use treadmill::cluster::HardwareConfig;
 use treadmill::core::{
-    run_sweep, run_until_converged, ExperimentOptions, LoadTestConfig, SweepOptions,
+    run_sweep_controlled, run_until_converged, ExperimentOptions, LoadTestConfig,
+    SweepControl, SweepEvent, SweepOptions,
 };
 use treadmill::inference::{
     attribute, collect, screen_factors, CollectionPlan, ScreeningOptions,
@@ -48,6 +64,9 @@ struct Flags {
     out: Option<String>,
     resume: bool,
     ckpt_events: Option<u64>,
+    addr: Option<String>,
+    key: Option<String>,
+    artifact: String,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -59,6 +78,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         out: None,
         resume: false,
         ckpt_events: None,
+        addr: None,
+        key: None,
+        artifact: "attribution".to_string(),
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -98,6 +120,18 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .map_err(|e| format!("--ckpt-events: {e}"))?,
                 );
             }
+            "--addr" => {
+                flags.addr = Some(iter.next().ok_or("--addr needs host:port")?.clone());
+            }
+            "--key" => {
+                flags.key = Some(iter.next().ok_or("--key needs a value")?.clone());
+            }
+            "--artifact" => {
+                flags.artifact = iter
+                    .next()
+                    .ok_or("--artifact needs a name (attribution|summary)")?
+                    .clone();
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
             }
@@ -112,7 +146,10 @@ fn usage() -> &'static str {
      treadmill-cli sweep <config.json> --out DIR [--runs N] [--seed S] [--resume] [--ckpt-events K]\n  \
      treadmill-cli attribute <memcached|mcrouter> [--rps R] [--runs N] [--seed S]\n  \
      treadmill-cli compare <config.json> <cfgA 0-15> <cfgB 0-15> [--runs N]\n  \
-     treadmill-cli screen <memcached|mcrouter> [--rps R] [--runs N] [--seed S]"
+     treadmill-cli screen <memcached|mcrouter> [--rps R] [--runs N] [--seed S]\n  \
+     treadmill-cli submit <spec.json> --addr HOST:PORT [--key K]\n  \
+     treadmill-cli status <job-id> --addr HOST:PORT\n  \
+     treadmill-cli fetch <job-id> --addr HOST:PORT [--artifact NAME] [--out FILE]"
 }
 
 fn main() -> ExitCode {
@@ -135,6 +172,9 @@ fn main() -> ExitCode {
         "attribute" => cmd_attribute(&flags),
         "compare" => cmd_compare(&flags),
         "screen" => cmd_screen(&flags),
+        "submit" => cmd_submit(&flags),
+        "status" => cmd_status(&flags),
+        "fetch" => cmd_fetch(&flags),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     };
     match result {
@@ -218,8 +258,22 @@ fn cmd_sweep(flags: &Flags) -> Result<(), String> {
         config.target_rps,
         opts.ckpt_events
     );
-    let outcome =
-        run_sweep(&config, std::path::Path::new(out), &opts).map_err(|e| e.to_string())?;
+    // Ctrl-C / SIGTERM cancels at the next checkpoint boundary: the
+    // checkpoint is sealed and the journal flushed, so `--resume`
+    // continues exactly like a SIGKILL'd sweep — same plumbing the
+    // server's drain path uses.
+    treadmill::server::shutdown::install();
+    let mut on_event = |event: SweepEvent| {
+        if let SweepEvent::CellDone { cell, samples, p99_us } = event {
+            println!("  cell {cell}: done ({samples} samples, p99 {p99_us:.1}us)");
+        }
+    };
+    let mut ctrl = SweepControl {
+        cancel: Some(treadmill::server::shutdown::flag()),
+        progress: Some(&mut on_event),
+    };
+    let outcome = run_sweep_controlled(&config, std::path::Path::new(out), &opts, &mut ctrl)
+        .map_err(|e| e.to_string())?;
     if let Some(cell) = outcome.resumed_cell {
         println!("  resumed cell {cell} from its checkpoint");
     }
@@ -230,7 +284,97 @@ fn cmd_sweep(flags: &Flags) -> Result<(), String> {
     for warning in &outcome.warnings {
         println!("  note: {warning}");
     }
+    if outcome.interrupted {
+        println!(
+            "interrupted: checkpoint sealed and journal flushed; \
+             rerun with --resume to continue"
+        );
+    }
     println!("summary: {}", outcome.summary_path.display());
+    Ok(())
+}
+
+fn addr_flag(flags: &Flags) -> Result<&str, String> {
+    flags
+        .addr
+        .as_deref()
+        .ok_or_else(|| "--addr HOST:PORT is required (see DIR/addr.txt)".to_string())
+}
+
+const CLIENT_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
+
+fn cmd_submit(flags: &Flags) -> Result<(), String> {
+    let path = flags
+        .positional
+        .first()
+        .ok_or("submit needs a spec file path")?;
+    let addr = addr_flag(flags)?;
+    let body = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut headers: Vec<(&str, &str)> =
+        vec![("Content-Type", "application/json")];
+    if let Some(key) = &flags.key {
+        headers.push(("Idempotency-Key", key));
+    }
+    let resp = treadmill::server::client::request(
+        addr,
+        "POST",
+        "/experiments",
+        &headers,
+        &body,
+        CLIENT_TIMEOUT,
+    )
+    .map_err(|e| format!("submit to {addr} failed: {e}"))?;
+    println!("{}", resp.text());
+    if resp.status == 201 || resp.status == 200 {
+        Ok(())
+    } else {
+        Err(format!("server rejected the spec (HTTP {})", resp.status))
+    }
+}
+
+fn cmd_status(flags: &Flags) -> Result<(), String> {
+    let id = flags.positional.first().ok_or("status needs a job id")?;
+    let addr = addr_flag(flags)?;
+    let resp = treadmill::server::client::request(
+        addr,
+        "GET",
+        &format!("/experiments/{id}"),
+        &[],
+        &[],
+        CLIENT_TIMEOUT,
+    )
+    .map_err(|e| format!("status from {addr} failed: {e}"))?;
+    println!("{}", resp.text());
+    if resp.status == 200 {
+        Ok(())
+    } else {
+        Err(format!("HTTP {}", resp.status))
+    }
+}
+
+fn cmd_fetch(flags: &Flags) -> Result<(), String> {
+    let id = flags.positional.first().ok_or("fetch needs a job id")?;
+    let addr = addr_flag(flags)?;
+    let resp = treadmill::server::client::request(
+        addr,
+        "GET",
+        &format!("/experiments/{id}/{}", flags.artifact),
+        &[],
+        &[],
+        CLIENT_TIMEOUT,
+    )
+    .map_err(|e| format!("fetch from {addr} failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("HTTP {}: {}", resp.status, resp.text()));
+    }
+    match &flags.out {
+        Some(out) => {
+            std::fs::write(out, &resp.body)
+                .map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!("wrote {} bytes to {out}", resp.body.len());
+        }
+        None => print!("{}", resp.text()),
+    }
     Ok(())
 }
 

@@ -20,7 +20,10 @@
 //!   CloudSuite-, Mutilate-like) used in the comparison experiments;
 //! * [`inference`] — the factorial attribution pipeline (Table IV,
 //!   Figures 7–12);
-//! * [`sim`] — the discrete-event engine underneath it all.
+//! * [`sim`] — the discrete-event engine underneath it all;
+//! * [`server`] — load testing as a service: the crash-tolerant
+//!   `treadmill-serve` HTTP daemon (journaled jobs, admission
+//!   control, graceful drain) and its minimal client.
 //!
 //! # Quickstart
 //!
@@ -59,6 +62,7 @@ pub use treadmill_baselines as baselines;
 pub use treadmill_cluster as cluster;
 pub use treadmill_core as core;
 pub use treadmill_inference as inference;
+pub use treadmill_server as server;
 pub use treadmill_sim_core as sim;
 pub use treadmill_stats as stats;
 pub use treadmill_workloads as workloads;

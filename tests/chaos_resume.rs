@@ -142,8 +142,19 @@ fn sigkilled_sweep_resumes_to_byte_identical_artifacts() {
     let chaos_dir = root.join("chaos");
     let kills = chaos_loop(&config, &chaos_dir, kill_budget(), 0x5EED_CAFE);
 
-    // The whole point: bit-identical artifacts despite the carnage.
-    for artifact in ["cell_0.tsv", "cell_1.tsv", "cell_2.tsv", "summary.tsv"] {
+    // The whole point: bit-identical artifacts despite the carnage —
+    // including the per-cell tail-attribution files and the sweep-wide
+    // attribution rollup served by treadmill-serve.
+    for artifact in [
+        "cell_0.tsv",
+        "cell_1.tsv",
+        "cell_2.tsv",
+        "cell_0.attr.tsv",
+        "cell_1.attr.tsv",
+        "cell_2.attr.tsv",
+        "summary.tsv",
+        "attribution.tsv",
+    ] {
         let golden = fs::read(golden_dir.join(artifact))
             .unwrap_or_else(|e| panic!("golden {artifact}: {e}"));
         let chaos = fs::read(chaos_dir.join(artifact))
@@ -204,7 +215,13 @@ fn sigkilled_sharded_multithreaded_sweep_resumes_byte_identical() {
     // count, and the unsharded soak above already covers the long tail.
     let kills = chaos_loop(&config, &chaos_dir, kill_budget().div_ceil(2), 0xC0FFEE);
 
-    for artifact in ["cell_0.tsv", "cell_1.tsv", "cell_2.tsv", "summary.tsv"] {
+    for artifact in [
+        "cell_0.tsv",
+        "cell_1.tsv",
+        "cell_2.tsv",
+        "summary.tsv",
+        "attribution.tsv",
+    ] {
         let golden = fs::read(golden_dir.join(artifact))
             .unwrap_or_else(|e| panic!("golden {artifact}: {e}"));
         let chaos = fs::read(chaos_dir.join(artifact))
@@ -213,6 +230,67 @@ fn sigkilled_sharded_multithreaded_sweep_resumes_byte_identical() {
             golden, chaos,
             "{artifact} differs between uninterrupted and killed-and-resumed \
              sharded sweeps ({kills} kills)"
+        );
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn sigterm_interrupts_gracefully_and_resume_is_byte_identical() {
+    // The CLI installs SIGTERM/SIGINT handlers: an interrupted sweep
+    // seals the in-flight checkpoint and flushes the journal, exits 0,
+    // and `--resume` continues onto the exact bytes an uninterrupted
+    // sweep would have produced — the same drain plumbing
+    // treadmill-serve uses.
+    let root = temp_root("sigterm");
+    let config = write_config(&root);
+
+    let golden_dir = root.join("golden");
+    let status = Command::new(cli())
+        .args(sweep_args(&config, &golden_dir, false))
+        .status()
+        .expect("spawn golden sweep");
+    assert!(status.success(), "golden sweep failed: {status}");
+
+    let out = root.join("interrupted");
+    let mut child = Command::new(cli())
+        .args(sweep_args(&config, &out, false))
+        .spawn()
+        .expect("spawn sweep to interrupt");
+    std::thread::sleep(Duration::from_millis(120));
+    let finished_early = match child.try_wait().expect("poll child") {
+        Some(status) => {
+            assert!(status.success(), "sweep failed before SIGTERM: {status}");
+            true
+        }
+        None => {
+            let term = Command::new("kill")
+                .arg("-TERM")
+                .arg(child.id().to_string())
+                .status()
+                .expect("send SIGTERM");
+            assert!(term.success(), "kill -TERM failed");
+            let status = child.wait().expect("wait for interrupted sweep");
+            // Graceful interruption is a clean exit, not a crash.
+            assert!(status.success(), "SIGTERM'd sweep exited {status}");
+            false
+        }
+    };
+
+    if !finished_early {
+        let status = Command::new(cli())
+            .args(sweep_args(&config, &out, true))
+            .status()
+            .expect("spawn resume after SIGTERM");
+        assert!(status.success(), "resume after SIGTERM failed: {status}");
+    }
+
+    for artifact in ["cell_0.tsv", "cell_1.tsv", "cell_2.tsv", "summary.tsv", "attribution.tsv"] {
+        let golden = fs::read(golden_dir.join(artifact)).unwrap();
+        let interrupted = fs::read(out.join(artifact)).unwrap();
+        assert_eq!(
+            golden, interrupted,
+            "{artifact} differs between uninterrupted and SIGTERM'd-then-resumed sweeps"
         );
     }
     let _ = fs::remove_dir_all(&root);
