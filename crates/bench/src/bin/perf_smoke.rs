@@ -1,4 +1,4 @@
-//! Performance smoke test: times the six hot-path layers and writes
+//! Performance smoke test: times the seven hot-path layers and writes
 //! `BENCH_treadmill.json` so the perf trajectory is tracked per commit.
 //!
 //! Stages (one per optimized layer):
@@ -22,7 +22,12 @@
 //!    `speedup_vs_1`;
 //! 6. `million_world` — the scale stage: at full scale a 100-server,
 //!    one-million-connection cluster (100 shards × 8 clients × 1250
-//!    connections) advanced by the windowed executor.
+//!    connections) advanced by the windowed executor;
+//! 7. `screened_sweep` — the two-stage factorial path: the analytic
+//!    screen ranks all 16 hardware cells and DES runs are spent only on
+//!    the flagged ones; the stage records cells screened out, cells
+//!    simulated, and the measured wall-clock speedup over the full
+//!    factorial it replaces.
 //!
 //! Every benchmark entry records the worker `threads` and world
 //! `shards` it ran with (schema 2).
@@ -228,6 +233,60 @@ fn bench_sharded(test: &LoadTest) -> (u64, usize, f64) {
     (report.run.events_executed, report.run.total_responses(), wall)
 }
 
+/// Stage 7 results: the screened two-stage sweep vs the full factorial
+/// on the same config.
+struct ScreenedBench {
+    simulated: u64,
+    screened_out: u64,
+    full_wall: f64,
+    screened_wall: f64,
+}
+
+fn bench_screened_sweep(seed: u64, rps: f64, duration_ms: u64, threshold: f64) -> ScreenedBench {
+    use treadmill_core::{run_factorial_sweep, run_screened_sweep, LoadTestConfig, SweepOptions};
+
+    let config = LoadTestConfig::from_json(&format!(
+        r#"{{"workload": {{"workload": "memcached"}},
+            "target_rps": {rps}, "clients": 2, "connections_per_client": 4,
+            "duration_ms": {duration_ms}, "warmup_ms": {warmup}, "seed": {seed}}}"#,
+        warmup = duration_ms / 4
+    ))
+    .expect("screened stage config");
+    let opts = SweepOptions {
+        runs: 1,
+        ..SweepOptions::default()
+    };
+    let base = std::env::temp_dir().join(format!("tml-perf-screen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // tml-lint: allow(DET002, wall-clock timing of the seeded full factorial; informational perf numbers only)
+    let start = Instant::now();
+    run_factorial_sweep(&config, &base.join("full"), &opts).expect("full factorial sweep");
+    let full_wall = start.elapsed().as_secs_f64();
+
+    // The screened wall includes the analytic screen itself — that cost
+    // is part of the two-stage path being sold as a speedup.
+    // tml-lint: allow(DET002, wall-clock timing of the seeded screened sweep; informational perf numbers only)
+    let start = Instant::now();
+    let plan = treadmill_inference::screen_hardware(&config, threshold).expect("analytic screen");
+    let outcome = run_screened_sweep(&config, &base.join("screened"), &opts, &plan.to_sweep_plan())
+        .expect("screened sweep");
+    let screened_wall = start.elapsed().as_secs_f64();
+
+    assert!(
+        (1..16).contains(&outcome.simulated.len()),
+        "screen must keep some cells and drop some: simulated {:?}",
+        outcome.simulated
+    );
+    let _ = std::fs::remove_dir_all(&base);
+    ScreenedBench {
+        simulated: outcome.simulated.len() as u64,
+        screened_out: outcome.screened_out.len() as u64,
+        full_wall,
+        screened_wall,
+    }
+}
+
 fn stage(name: &str, unit: &str, items: u64, wall_secs: f64, threads: u64, shards: u64) -> Value {
     let mut obj = Map::new();
     obj.insert("name".to_string(), Value::String(name.to_string()));
@@ -418,6 +477,35 @@ fn main() {
     }
     println!("million_world: {total_conns} connections, {mw_resp} responses");
 
+    // Stage 7: the screened two-stage sweep against the full factorial
+    // it replaces. The threshold keeps the high-tail cells (the numa
+    // arm and friends) and screens out the quiet ones.
+    let (sc_rps, sc_ms) = if check { (120_000.0, 20u64) } else { (250_000.0, 60) };
+    let sc = bench_screened_sweep(seed, sc_rps, sc_ms, 0.2);
+    let speedup_vs_full = sc.full_wall / sc.screened_wall;
+    let mut screen_stage = stage(
+        "screened_sweep",
+        "cells",
+        sc.simulated,
+        sc.screened_wall,
+        1,
+        1,
+    );
+    if let Value::Object(obj) = &mut screen_stage {
+        obj.insert("cells_simulated".to_string(), Value::UInt(sc.simulated));
+        obj.insert("cells_screened_out".to_string(), Value::UInt(sc.screened_out));
+        obj.insert(
+            "full_factorial_wall_ms".to_string(),
+            Value::Float(sc.full_wall * 1e3),
+        );
+        obj.insert("speedup_vs_full".to_string(), Value::Float(speedup_vs_full));
+    }
+    println!(
+        "screened_sweep: {} of 16 cells simulated ({} screened out), \
+         {speedup_vs_full:.2}x vs full factorial",
+        sc.simulated, sc.screened_out
+    );
+
     let mut root = Map::new();
     root.insert("schema".to_string(), Value::UInt(2));
     root.insert(
@@ -434,6 +522,7 @@ fn main() {
             collect_stage,
             sharded_stage,
             mw_stage,
+            screen_stage,
         ]),
     );
     let json =
@@ -446,7 +535,7 @@ fn main() {
     let benchmarks = parsed["benchmarks"]
         .as_array()
         .expect("report has a benchmarks array");
-    assert_eq!(benchmarks.len(), 6, "expected one entry per stage");
+    assert_eq!(benchmarks.len(), 7, "expected one entry per stage");
     for b in benchmarks {
         assert!(
             b.get("threads").is_some() && b.get("shards").is_some(),

@@ -6,7 +6,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
-use treadmill_cluster::{FaultSpec, RetryPolicy};
+use treadmill_cluster::{FaultSpec, HardwareConfig, RetryPolicy};
 use treadmill_sim_core::SimDuration;
 use treadmill_workloads::{SpecError, WorkloadSpec};
 
@@ -146,6 +146,34 @@ pub struct LoadTestConfig {
     /// Client-side timeout / retry / hedging policy (default: off).
     #[serde(default)]
     pub retry: RetryPolicy,
+    /// Pins the run to one cell of the 2⁴ hardware factor space
+    /// (`HardwareConfig::from_index`). `None` (the default) keeps the
+    /// all-low baseline. Factorial sweeps set this per cell.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub hardware: Option<u8>,
+    /// Analytic screening for factorial sweeps: when set, the sweep
+    /// runs the analytic fast-path estimator over every hardware cell
+    /// first and spends DES runs only on cells whose predicted tail
+    /// effect reaches `threshold`. `None` (the default) means
+    /// full-factorial (or single-cell) behaviour.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub screen: Option<ScreenSpec>,
+}
+
+/// Screening knobs for a factorial sweep (see `LoadTestConfig::screen`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ScreenSpec {
+    /// Relative predicted-p99 excess over the best cell at which a cell
+    /// is flagged for DES simulation. 0 screens every cell in (useful
+    /// for validating the screened path against full-factorial).
+    pub threshold: f64,
+}
+
+impl Default for ScreenSpec {
+    fn default() -> Self {
+        ScreenSpec { threshold: 0.25 }
+    }
 }
 
 /// Validation ceilings — generous enough for every benchmark world
@@ -283,6 +311,25 @@ impl LoadTestConfig {
                 ),
             ));
         }
+        if let Some(cell) = self.hardware {
+            if cell >= 16 {
+                return Err(invalid(
+                    "hardware",
+                    format!("cell index must be in 0..=15, got {cell}"),
+                ));
+            }
+        }
+        if let Some(screen) = &self.screen {
+            if !screen.threshold.is_finite() || screen.threshold < 0.0 {
+                return Err(invalid(
+                    "screen",
+                    format!(
+                        "threshold must be finite and non-negative, got {}",
+                        screen.threshold
+                    ),
+                ));
+            }
+        }
         self.faults
             .validate()
             .map_err(|message| invalid("faults", message))?;
@@ -303,7 +350,13 @@ impl LoadTestConfig {
     pub fn build(&self) -> Result<LoadTest, ConfigError> {
         self.validate()?;
         let workload: Arc<dyn treadmill_workloads::Workload> = self.workload.build()?;
+        let hardware = self
+            .hardware
+            .map_or_else(HardwareConfig::all_low, |cell| {
+                HardwareConfig::from_index(usize::from(cell))
+            });
         Ok(LoadTest::new(workload, self.target_rps)
+            .hardware(hardware)
             .clients(self.clients)
             .connections_per_client(self.connections_per_client)
             .duration(SimDuration::from_millis(self.duration_ms))
@@ -435,6 +488,39 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(config.build(), Err(ConfigError::Workload(_))));
+    }
+
+    #[test]
+    fn hardware_and_screen_knobs() {
+        // Absent knobs serialise away: old configs hash identically.
+        let config = LoadTestConfig::from_json(minimal_json()).unwrap();
+        assert!(config.hardware.is_none() && config.screen.is_none());
+        assert!(!config.to_json().contains("hardware"));
+        assert!(!config.to_json().contains("screen"));
+        let config = LoadTestConfig::from_json(
+            r#"{ "workload": { "workload": "memcached" }, "target_rps": 1000,
+                 "hardware": 9, "screen": { "threshold": 0.1 } }"#,
+        )
+        .unwrap();
+        assert_eq!(config.hardware, Some(9));
+        assert_eq!(config.screen.unwrap().threshold, 0.1);
+        assert!(config.validate().is_ok());
+        let back = LoadTestConfig::from_json(&config.to_json()).unwrap();
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn out_of_range_hardware_and_screen_rejected() {
+        let mut config = LoadTestConfig::from_json(minimal_json()).unwrap();
+        config.hardware = Some(16);
+        assert_eq!(config.validate().unwrap_err().field(), Some("hardware"));
+        config.hardware = None;
+        config.screen = Some(ScreenSpec { threshold: -0.5 });
+        assert_eq!(config.validate().unwrap_err().field(), Some("screen"));
+        config.screen = Some(ScreenSpec {
+            threshold: f64::NAN,
+        });
+        assert_eq!(config.validate().unwrap_err().field(), Some("screen"));
     }
 
     #[test]

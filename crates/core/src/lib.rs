@@ -61,7 +61,7 @@ pub use aggregation::{
     holistic_summary, latencies_per_client, tail_composition, AggregationMethod,
     TailShareRow,
 };
-pub use config::{ConfigError, LoadTestConfig};
+pub use config::{ConfigError, LoadTestConfig, ScreenSpec};
 pub use controller::{ClosedLoopSource, OpenLoopSource, RateLimitedClosedLoopSource};
 pub use convergence::ConvergenceTracker;
 pub use experiment::{run_until_converged, ExperimentOptions, ExperimentOutcome};
@@ -74,6 +74,8 @@ pub use runner::{
     LoadTest, LoadTestReport, RerunPolicy, RobustRunOutcome, RunDegradation,
 };
 pub use sweep::{
-    run_sweep, run_sweep_controlled, SweepControl, SweepError, SweepEvent, SweepOptions,
-    SweepOutcome,
+    run_factorial_sweep, run_factorial_sweep_controlled, run_screened_sweep, run_sweep,
+    run_sweep_controlled, CellSummary, FactorialCellResult, FactorialOutcome,
+    ScreenedCell, ScreenedSweepPlan, SweepControl, SweepError, SweepEvent, SweepOptions,
+    SweepOutcome, FACTORIAL_CELLS,
 };

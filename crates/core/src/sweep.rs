@@ -156,6 +156,30 @@ impl Default for SweepOptions {
     }
 }
 
+/// One finished cell's headline numbers, decoded from the journal —
+/// what [`SweepOutcome::cells`] reports per repeated run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CellSummary {
+    /// Cell (repeated-run) index.
+    pub cell: u64,
+    /// The cell's derived seed.
+    pub seed: u64,
+    /// Measurement-window samples.
+    pub samples: u64,
+    /// Mean latency, µs.
+    pub mean_us: f64,
+    /// Median latency, µs.
+    pub p50_us: f64,
+    /// 90th percentile, µs.
+    pub p90_us: f64,
+    /// 95th percentile, µs.
+    pub p95_us: f64,
+    /// 99th percentile, µs.
+    pub p99_us: f64,
+    /// 99.9th percentile, µs.
+    pub p999_us: f64,
+}
+
 /// What [`run_sweep`] did, for operator-facing summaries.
 #[derive(Debug, Clone, Default)]
 pub struct SweepOutcome {
@@ -174,6 +198,9 @@ pub struct SweepOutcome {
     /// journal and the in-flight cell's checkpoint are sealed; running
     /// again with [`SweepOptions::resume`] continues where it stopped.
     pub interrupted: bool,
+    /// Every known-done cell's headline numbers (executed this
+    /// invocation or replayed from the journal), in cell order.
+    pub cells: Vec<CellSummary>,
 }
 
 /// Errors from sweep orchestration.
@@ -183,6 +210,12 @@ pub enum SweepError {
     Io(io::Error),
     /// The configuration does not build.
     Config(ConfigError),
+    /// A screened-sweep plan is malformed (wrong cell count, bad
+    /// indices) and cannot drive the factorial orchestration.
+    Screen {
+        /// Why the plan is unusable.
+        message: String,
+    },
 }
 
 impl fmt::Display for SweepError {
@@ -190,6 +223,7 @@ impl fmt::Display for SweepError {
         match self {
             SweepError::Io(e) => write!(f, "sweep I/O error: {e}"),
             SweepError::Config(e) => write!(f, "sweep configuration error: {e}"),
+            SweepError::Screen { message } => write!(f, "sweep screen plan error: {message}"),
         }
     }
 }
@@ -199,6 +233,7 @@ impl std::error::Error for SweepError {
         match self {
             SweepError::Io(e) => Some(e),
             SweepError::Config(e) => Some(e),
+            SweepError::Screen { .. } => None,
         }
     }
 }
@@ -687,6 +722,20 @@ pub fn run_sweep_controlled(
         });
     }
 
+    outcome.cells = summary_cells
+        .iter()
+        .map(|(&cell, (seed, r))| CellSummary {
+            cell,
+            seed: *seed,
+            samples: r.samples,
+            mean_us: from_bits(&r.mean_bits),
+            p50_us: from_bits(&r.p50_bits),
+            p90_us: from_bits(&r.p90_bits),
+            p95_us: from_bits(&r.p95_bits),
+            p99_us: from_bits(&r.p99_bits),
+            p999_us: from_bits(&r.p999_bits),
+        })
+        .collect();
     write_atomic(
         &outcome.summary_path,
         summary_tsv(config.seed, &config_hash, &summary_cells).as_bytes(),
@@ -702,6 +751,315 @@ pub fn run_sweep_controlled(
             &mut outcome.warnings,
         );
         write_atomic(&out_dir.join("attribution.tsv"), attribution.as_bytes())?;
+    }
+    Ok(outcome)
+}
+
+/// The number of hardware cells in the paper's 2⁴ factor space.
+pub const FACTORIAL_CELLS: usize = 16;
+
+/// One hardware cell's analytic prediction, as handed to the screened
+/// sweep. `treadmill_inference::screen_hardware` computes these; this
+/// crate only consumes them (core cannot depend on inference).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScreenedCell {
+    /// Hardware cell index (`HardwareConfig::from_index`).
+    pub index: usize,
+    /// Predicted median latency, µs.
+    pub p50_us: f64,
+    /// Predicted 95th percentile, µs.
+    pub p95_us: f64,
+    /// Predicted 99th percentile, µs.
+    pub p99_us: f64,
+    /// Predicted per-core utilisation.
+    pub utilization: f64,
+    /// Relative predicted p99 excess over the best cell.
+    pub tail_effect: f64,
+    /// True when the cell should be DES-simulated.
+    pub flagged: bool,
+}
+
+/// The analytic screen's verdict over the whole factor space — the
+/// contract between the inference crate's estimator and this crate's
+/// orchestration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScreenedSweepPlan {
+    /// The relative tail-effect threshold the screen applied.
+    pub threshold: f64,
+    /// All [`FACTORIAL_CELLS`] predictions, in index order.
+    pub cells: Vec<ScreenedCell>,
+}
+
+impl ScreenedSweepPlan {
+    fn validate(&self) -> Result<(), SweepError> {
+        if self.cells.len() != FACTORIAL_CELLS {
+            return Err(SweepError::Screen {
+                message: format!(
+                    "plan has {} cells, expected {FACTORIAL_CELLS}",
+                    self.cells.len()
+                ),
+            });
+        }
+        for (i, cell) in self.cells.iter().enumerate() {
+            if cell.index != i {
+                return Err(SweepError::Screen {
+                    message: format!("plan cell {i} carries index {}", cell.index),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One simulated hardware cell's aggregate in a factorial sweep: the
+/// across-run mean of each per-run quantile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorialCellResult {
+    /// Hardware cell index.
+    pub index: usize,
+    /// The cell's sweep directory (`hw_NN/`) under the factorial root.
+    pub dir: PathBuf,
+    /// Repeated runs aggregated.
+    pub runs: u64,
+    /// Total measurement-window samples across runs.
+    pub samples: u64,
+    /// Across-run mean of per-run mean latency, µs.
+    pub mean_us: f64,
+    /// Across-run mean of per-run p50, µs.
+    pub p50_us: f64,
+    /// Across-run mean of per-run p95, µs.
+    pub p95_us: f64,
+    /// Across-run mean of per-run p99, µs.
+    pub p99_us: f64,
+    /// Across-run mean of per-run p99.9, µs.
+    pub p999_us: f64,
+}
+
+/// What a factorial (optionally screened) sweep did.
+#[derive(Debug, Clone, Default)]
+pub struct FactorialOutcome {
+    /// Hardware cells that were DES-simulated, in index order.
+    pub simulated: Vec<usize>,
+    /// Hardware cells the analytic screen dropped, in index order.
+    pub screened_out: Vec<usize>,
+    /// Per simulated cell, the across-run aggregate.
+    pub cells: Vec<FactorialCellResult>,
+    /// Warnings from every inner sweep, prefixed with the cell.
+    pub warnings: Vec<String>,
+    /// Path of the `factorial.tsv` measurement artifact.
+    pub factorial_path: PathBuf,
+    /// Path of the `screen.tsv` prediction artifact (screened sweeps
+    /// only).
+    pub screen_path: Option<PathBuf>,
+    /// True if an inner sweep was interrupted; re-run with
+    /// [`SweepOptions::resume`] to continue.
+    pub interrupted: bool,
+}
+
+/// The per-cell configuration a factorial sweep runs: the base config
+/// pinned to one hardware cell, with the screen knob stripped and a
+/// cell-derived seed. Stripping `screen` makes the per-cell artifacts
+/// (and their provenance hashes) independent of *how* the cell was
+/// selected — a threshold-0 screened sweep is byte-identical to a
+/// full-factorial one.
+fn factorial_cell_config(config: &LoadTestConfig, index: usize) -> LoadTestConfig {
+    let mut cell = config.clone();
+    cell.hardware = Some(u8::try_from(index).unwrap_or(u8::MAX));
+    cell.screen = None;
+    cell.seed = fnv1a64(format!("{}/factorial/{index}", config.seed).as_bytes());
+    cell
+}
+
+fn factorial_cell_dir(out_dir: &Path, index: usize) -> PathBuf {
+    out_dir.join(format!("hw_{index:02}"))
+}
+
+/// The screen-stripped base hash that stamps factorial-level artifacts.
+fn factorial_hash(config: &LoadTestConfig) -> String {
+    let mut base = config.clone();
+    base.screen = None;
+    format!("{:016x}", fnv1a64(base.to_json().as_bytes()))
+}
+
+fn factorial_tsv(
+    master_seed: u64,
+    base_hash: &str,
+    cells: &[FactorialCellResult],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&provenance_line(master_seed, base_hash));
+    out.push('\n');
+    out.push_str("cell\tnuma\tturbo\tdvfs\tnic\truns\tsamples\tmean_us\tp50_us\tp95_us\tp99_us\tp999_us\n");
+    for c in cells {
+        let hw = treadmill_cluster::HardwareConfig::from_index(c.index);
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\n",
+            c.index,
+            hw.numa,
+            hw.turbo,
+            hw.dvfs,
+            hw.nic,
+            c.runs,
+            c.samples,
+            c.mean_us,
+            c.p50_us,
+            c.p95_us,
+            c.p99_us,
+            c.p999_us,
+        ));
+    }
+    out
+}
+
+fn screen_tsv(master_seed: u64, base_hash: &str, plan: &ScreenedSweepPlan) -> String {
+    let mut out = String::new();
+    out.push_str(&provenance_line(master_seed, base_hash));
+    out.push('\n');
+    out.push_str(&format!("# threshold={:.6}\n", plan.threshold));
+    out.push_str(
+        "cell\tnuma\tturbo\tdvfs\tnic\tpred_p50_us\tpred_p95_us\tpred_p99_us\tutilization\ttail_effect\tflagged\n",
+    );
+    for c in &plan.cells {
+        let hw = treadmill_cluster::HardwareConfig::from_index(c.index);
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\t{:.6}\t{}\n",
+            c.index,
+            hw.numa,
+            hw.turbo,
+            hw.dvfs,
+            hw.nic,
+            c.p50_us,
+            c.p95_us,
+            c.p99_us,
+            c.utilization,
+            c.tail_effect,
+            u8::from(c.flagged),
+        ));
+    }
+    out
+}
+
+/// Runs the full 2⁴ factorial sweep: every hardware cell gets its own
+/// crash-tolerant [`run_sweep`] into `hw_NN/` under `out_dir`, and the
+/// across-run aggregates land in `factorial.tsv`.
+///
+/// # Errors
+///
+/// Same as [`run_sweep`].
+pub fn run_factorial_sweep(
+    config: &LoadTestConfig,
+    out_dir: &Path,
+    opts: &SweepOptions,
+) -> Result<FactorialOutcome, SweepError> {
+    factorial_sweep_impl(config, out_dir, opts, None, &mut SweepControl::default())
+}
+
+/// Runs the two-stage screened sweep: DES runs are spent only on the
+/// cells the analytic screen flagged. A threshold-0 plan (every cell
+/// flagged) reproduces [`run_factorial_sweep`]'s artifacts
+/// byte-for-byte.
+///
+/// # Errors
+///
+/// [`SweepError::Screen`] for a malformed plan, otherwise the same as
+/// [`run_sweep`].
+pub fn run_screened_sweep(
+    config: &LoadTestConfig,
+    out_dir: &Path,
+    opts: &SweepOptions,
+    plan: &ScreenedSweepPlan,
+) -> Result<FactorialOutcome, SweepError> {
+    factorial_sweep_impl(config, out_dir, opts, Some(plan), &mut SweepControl::default())
+}
+
+/// [`run_screened_sweep`] with cooperative cancellation and progress —
+/// the service entry point. `plan: None` is the full factorial.
+///
+/// # Errors
+///
+/// Same as [`run_screened_sweep`].
+pub fn run_factorial_sweep_controlled(
+    config: &LoadTestConfig,
+    out_dir: &Path,
+    opts: &SweepOptions,
+    plan: Option<&ScreenedSweepPlan>,
+    ctrl: &mut SweepControl<'_>,
+) -> Result<FactorialOutcome, SweepError> {
+    factorial_sweep_impl(config, out_dir, opts, plan, ctrl)
+}
+
+fn factorial_sweep_impl(
+    config: &LoadTestConfig,
+    out_dir: &Path,
+    opts: &SweepOptions,
+    plan: Option<&ScreenedSweepPlan>,
+    ctrl: &mut SweepControl<'_>,
+) -> Result<FactorialOutcome, SweepError> {
+    config.validate()?;
+    if let Some(plan) = plan {
+        plan.validate()?;
+    }
+    fs::create_dir_all(out_dir)?;
+    let base_hash = factorial_hash(config);
+    let mut outcome = FactorialOutcome {
+        factorial_path: out_dir.join("factorial.tsv"),
+        ..FactorialOutcome::default()
+    };
+
+    if let Some(plan) = plan {
+        let screen_path = out_dir.join("screen.tsv");
+        write_atomic(
+            &screen_path,
+            screen_tsv(config.seed, &base_hash, plan).as_bytes(),
+        )?;
+        outcome.screen_path = Some(screen_path);
+        outcome.screened_out = plan
+            .cells
+            .iter()
+            .filter(|c| !c.flagged)
+            .map(|c| c.index)
+            .collect();
+    }
+
+    for index in 0..FACTORIAL_CELLS {
+        if let Some(plan) = plan {
+            if !plan.cells[index].flagged {
+                continue;
+            }
+        }
+        let cell_config = factorial_cell_config(config, index);
+        let cell_dir = factorial_cell_dir(out_dir, index);
+        let inner = run_sweep_controlled(&cell_config, &cell_dir, opts, ctrl)?;
+        for warning in &inner.warnings {
+            outcome.warnings.push(format!("hw {index}: {warning}"));
+        }
+        if inner.interrupted {
+            outcome.interrupted = true;
+            break;
+        }
+        let runs = inner.cells.len() as u64;
+        let mean_of = |f: &dyn Fn(&CellSummary) -> f64| {
+            inner.cells.iter().map(f).sum::<f64>() / runs.max(1) as f64
+        };
+        outcome.cells.push(FactorialCellResult {
+            index,
+            dir: cell_dir,
+            runs,
+            samples: inner.cells.iter().map(|c| c.samples).sum(),
+            mean_us: mean_of(&|c| c.mean_us),
+            p50_us: mean_of(&|c| c.p50_us),
+            p95_us: mean_of(&|c| c.p95_us),
+            p99_us: mean_of(&|c| c.p99_us),
+            p999_us: mean_of(&|c| c.p999_us),
+        });
+        outcome.simulated.push(index);
+    }
+
+    if !outcome.interrupted {
+        write_atomic(
+            &outcome.factorial_path,
+            factorial_tsv(config.seed, &base_hash, &outcome.cells).as_bytes(),
+        )?;
     }
     Ok(outcome)
 }
@@ -992,6 +1350,76 @@ mod tests {
         // The old done line is for a different config hash: re-run.
         assert_eq!(outcome.executed, vec![0]);
         assert!(outcome.skipped.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn uniform_plan(flagged: &[usize], threshold: f64) -> ScreenedSweepPlan {
+        ScreenedSweepPlan {
+            threshold,
+            cells: (0..FACTORIAL_CELLS)
+                .map(|index| ScreenedCell {
+                    index,
+                    p50_us: 50.0,
+                    p95_us: 80.0,
+                    p99_us: 100.0 + index as f64,
+                    utilization: 0.4,
+                    tail_effect: index as f64 / 100.0,
+                    flagged: flagged.contains(&index),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn screened_sweep_simulates_only_flagged_cells() {
+        let dir = tempdir("screened");
+        let plan = uniform_plan(&[3, 11], 0.05);
+        let outcome =
+            run_screened_sweep(&small_config(), &dir, &opts(1), &plan).expect("sweep");
+        assert_eq!(outcome.simulated, vec![3, 11]);
+        assert_eq!(outcome.screened_out.len(), 14);
+        assert!(!outcome.interrupted);
+        assert!(dir.join("hw_03/summary.tsv").exists());
+        assert!(dir.join("hw_11/summary.tsv").exists());
+        assert!(!dir.join("hw_00").exists(), "unflagged cell must not run");
+        let screen = fs::read_to_string(dir.join("screen.tsv")).expect("screen artifact");
+        assert!(screen.contains("# threshold=0.050000"), "{screen}");
+        assert_eq!(screen.lines().count(), 3 + FACTORIAL_CELLS, "{screen}");
+        let factorial =
+            fs::read_to_string(dir.join("factorial.tsv")).expect("factorial artifact");
+        assert_eq!(factorial.lines().count(), 2 + 2, "one row per simulated cell");
+        // Rows are exactly the two flagged cells.
+        assert!(factorial.contains("\n3\thigh\thigh\tlow\tlow\t"), "{factorial}");
+        assert!(factorial.contains("\n11\thigh\thigh\tlow\thigh\t"), "{factorial}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_plans_are_typed_errors() {
+        let dir = tempdir("badplan");
+        let mut plan = uniform_plan(&[0], 0.0);
+        plan.cells.truncate(4);
+        let err = run_screened_sweep(&small_config(), &dir, &opts(1), &plan)
+            .expect_err("short plan must be rejected");
+        assert!(matches!(err, SweepError::Screen { .. }), "{err}");
+        let mut plan = uniform_plan(&[0], 0.0);
+        plan.cells[5].index = 9;
+        let err = run_screened_sweep(&small_config(), &dir, &opts(1), &plan)
+            .expect_err("misindexed plan must be rejected");
+        assert!(err.to_string().contains("cell 5"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_outcome_reports_cell_summaries() {
+        let dir = tempdir("cellsummaries");
+        let outcome = run_sweep(&small_config(), &dir, &opts(2)).expect("sweep");
+        assert_eq!(outcome.cells.len(), 2);
+        for (i, cell) in outcome.cells.iter().enumerate() {
+            assert_eq!(cell.cell, i as u64);
+            assert!(cell.samples > 0);
+            assert!(cell.p50_us > 0.0 && cell.p99_us >= cell.p95_us);
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 

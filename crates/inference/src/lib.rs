@@ -38,6 +38,7 @@
 )]
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod attribution;
 pub mod dataset;
 pub mod factors;
@@ -47,6 +48,10 @@ pub mod reduced;
 pub mod screening;
 pub mod tuning;
 
+pub use analytic::{
+    censoring_prediction, predict, predict_cell, AnalyticError, AnalyticInput,
+    CensoringPrediction, TailPrediction,
+};
 pub use attribution::{
     attribute, attribute_graceful, attribution_table, AttributionOutcome,
     AttributionResult, TABLE_IV_PERCENTILES,
@@ -56,5 +61,8 @@ pub use factors::{factor_names, factor_table, Factor};
 pub use goodness::{goodness_sweep, model_pseudo_r_squared, GoodnessPoint};
 pub use impact::{average_factor_impacts, FactorImpact};
 pub use reduced::{fit_reduced, model_comparison, ModelComparisonRow, ReducedModel};
-pub use screening::{screen_factors, ScreeningOptions, ScreeningResult};
+pub use screening::{
+    screen_cells, screen_factors, screen_hardware, CellPrediction, FactorEffect,
+    ScreenError, ScreenPlan, ScreeningOptions, ScreeningResult,
+};
 pub use tuning::{validate, ArmSummary, TuningOutcome, TuningPlan};

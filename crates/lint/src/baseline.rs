@@ -20,6 +20,12 @@ pub struct Baseline {
     /// `[panic-budget]`: crate name → allowed PANIC001 sites in
     /// non-test library code.
     pub panic_budget: BTreeMap<String, usize>,
+    /// `[panic-budget-files]`: workspace-relative file path → allowed
+    /// PANIC001 sites in that file. A listed file is carved out of its
+    /// crate's pool and judged on its own budget — `= 0` pins a file
+    /// that must stay panic-free even while its crate still carries
+    /// debt.
+    pub panic_budget_files: BTreeMap<String, usize>,
     /// `[grandfathered]`: `"RULE:path"` → allowed findings of that rule
     /// in that file.
     pub grandfathered: BTreeMap<String, usize>,
@@ -45,7 +51,10 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
         }
         if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
             section = name.trim().to_string();
-            if section != "panic-budget" && section != "grandfathered" {
+            if !matches!(
+                section.as_str(),
+                "panic-budget" | "panic-budget-files" | "grandfathered"
+            ) {
                 return Err(format!("line {lineno}: unknown section [{section}]"));
             }
             continue;
@@ -61,6 +70,9 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
         match section.as_str() {
             "panic-budget" => {
                 baseline.panic_budget.insert(key, value);
+            }
+            "panic-budget-files" => {
+                baseline.panic_budget_files.insert(key, value);
             }
             "grandfathered" => {
                 baseline.grandfathered.insert(key, value);
@@ -83,12 +95,19 @@ mod tests {
 \"treadmill-stats\" = 12  # solver invariants
 treadmill-core = 3
 
+[panic-budget-files]
+\"crates/inference/src/analytic.rs\" = 0  # pinned panic-free
+
 [grandfathered]
 \"DET002:crates/bench/src/bin/perf_smoke.rs\" = 3
 ";
         let b = parse(text).expect("parses");
         assert_eq!(b.panic_budget.get("treadmill-stats"), Some(&12));
         assert_eq!(b.panic_budget.get("treadmill-core"), Some(&3));
+        assert_eq!(
+            b.panic_budget_files.get("crates/inference/src/analytic.rs"),
+            Some(&0)
+        );
         assert_eq!(
             b.grandfathered
                 .get("DET002:crates/bench/src/bin/perf_smoke.rs"),
@@ -107,5 +126,6 @@ treadmill-core = 3
     fn empty_file_is_empty_baseline() {
         let b = parse("").expect("empty ok");
         assert!(b.panic_budget.is_empty() && b.grandfathered.is_empty());
+        assert!(b.panic_budget_files.is_empty());
     }
 }

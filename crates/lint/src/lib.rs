@@ -85,10 +85,25 @@ pub fn analyze_workspace(root: &Path, baseline: &Baseline) -> io::Result<Analysi
 /// emits ratchet errors for every exact-match violation.
 fn reconcile(analysis: &mut Analysis, raw: Vec<Finding>, baseline: &Baseline) {
     let mut panic_counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut panic_file_counts: BTreeMap<String, usize> = BTreeMap::new();
     let mut grand_counts: BTreeMap<String, usize> = BTreeMap::new();
 
     for finding in raw {
         match finding.rule.as_str() {
+            // A file listed in [panic-budget-files] is carved out of
+            // its crate's pool: its PANIC001 findings are judged
+            // against the file's own budget, so a `= 0` pin fails
+            // immediately even while the crate still carries debt.
+            "PANIC001" if baseline.panic_budget_files.contains_key(&finding.file) => {
+                let budget = baseline.panic_budget_files[&finding.file];
+                let n = panic_file_counts.entry(finding.file.clone()).or_insert(0);
+                *n += 1;
+                if *n <= budget {
+                    analysis.budgeted.push(finding);
+                } else {
+                    analysis.failures.push(finding);
+                }
+            }
             "PANIC001" => {
                 let krate = crate_name(&finding.file);
                 let n = panic_counts.entry(krate.clone()).or_insert(0);
@@ -122,6 +137,16 @@ fn reconcile(analysis: &mut Analysis, raw: Vec<Finding>, baseline: &Baseline) {
                 "panic-budget for {krate} is {budget} but only {actual} PANIC001 site(s) \
                  remain — the baseline may only shrink: set \"{krate}\" = {actual} \
                  (or delete the entry if 0)"
+            ));
+        }
+    }
+    for (file, budget) in &baseline.panic_budget_files {
+        let actual = panic_file_counts.get(file).copied().unwrap_or(0);
+        if actual < *budget {
+            analysis.ratchet_errors.push(format!(
+                "panic-budget-files for {file} is {budget} but only {actual} PANIC001 \
+                 site(s) remain — the baseline may only shrink: set \"{file}\" = {actual} \
+                 (a `= 0` entry is a permanent pin and stays)"
             ));
         }
     }
@@ -261,6 +286,52 @@ mod tests {
         assert!(a.failures.is_empty());
         assert_eq!(a.ratchet_errors.len(), 1, "{:?}", a.ratchet_errors);
         assert!(a.is_failure());
+    }
+
+    #[test]
+    fn pinned_file_is_carved_out_of_the_crate_pool() {
+        // The crate has plenty of budget, but the pinned file has none:
+        // a panic site there must fail outright, and must not consume
+        // the crate's allowance.
+        let mut baseline = Baseline::default();
+        baseline
+            .panic_budget
+            .insert("treadmill-inference".to_string(), 2);
+        baseline
+            .panic_budget_files
+            .insert("crates/inference/src/analytic.rs".to_string(), 0);
+
+        let mut a = Analysis::default();
+        reconcile(
+            &mut a,
+            vec![
+                finding("PANIC001", "crates/inference/src/analytic.rs"),
+                finding("PANIC001", "crates/inference/src/screening.rs"),
+            ],
+            &baseline,
+        );
+        assert_eq!((a.failures.len(), a.budgeted.len()), (1, 1));
+        assert_eq!(a.failures[0].file, "crates/inference/src/analytic.rs");
+        assert!(a.is_failure());
+
+        // A clean pinned file is stable: `= 0` with zero findings is
+        // neither a failure nor a ratchet complaint.
+        let crate_debt = vec![
+            finding("PANIC001", "crates/inference/src/screening.rs"),
+            finding("PANIC001", "crates/inference/src/dataset.rs"),
+        ];
+        let mut a = Analysis::default();
+        reconcile(&mut a, crate_debt.clone(), &baseline);
+        assert!(a.failures.is_empty() && a.ratchet_errors.is_empty());
+
+        // A nonzero file budget ratchets down like everything else.
+        baseline
+            .panic_budget_files
+            .insert("crates/inference/src/analytic.rs".to_string(), 1);
+        let mut a = Analysis::default();
+        reconcile(&mut a, crate_debt, &baseline);
+        assert_eq!(a.ratchet_errors.len(), 1, "{:?}", a.ratchet_errors);
+        assert!(a.ratchet_errors[0].contains("panic-budget-files"));
     }
 
     #[test]

@@ -31,7 +31,10 @@ use std::time::{Duration, Instant};
 use std::collections::BTreeMap;
 
 use treadmill_core::sweep::write_atomic;
-use treadmill_core::{run_sweep_controlled, SweepControl, SweepEvent, SweepOptions};
+use treadmill_core::{
+    run_factorial_sweep_controlled, run_sweep_controlled, SweepControl, SweepEvent,
+    SweepOptions,
+};
 
 use crate::audit::AuditLog;
 use crate::http::{self, HttpError, Request};
@@ -470,6 +473,12 @@ fn route(shared: &Arc<Shared>, req: &Request, stream: &mut TcpStream) {
         ("GET", ["experiments", id, "summary"]) => {
             handle_artifact(shared, id, "summary.tsv", stream)
         }
+        ("GET", ["experiments", id, "screen"]) => {
+            handle_artifact(shared, id, "screen.tsv", stream)
+        }
+        ("GET", ["experiments", id, "factorial"]) => {
+            handle_artifact(shared, id, "factorial.tsv", stream)
+        }
         ("POST" | "GET", _) => {
             error_response(stream, 404, "not-found", "no such route")
         }
@@ -766,8 +775,40 @@ fn execute_job(shared: &Arc<Shared>, id: &str) {
         cancel: Some(&shared.draining),
         progress: Some(&mut on_event),
     };
-    match run_sweep_controlled(&spec.config, &out_dir, &opts, &mut ctrl) {
-        Ok(outcome) if outcome.interrupted => {
+    // A spec with a `screen` block runs the two-stage screened
+    // factorial sweep (analytic screen, then DES on flagged cells);
+    // otherwise the classic repeated-run sweep.
+    let result = if let Some(screen) = spec.config.screen {
+        progress.push(format!(
+            "job {id}: analytic screen over 16 hardware cells (threshold {:.3})",
+            screen.threshold
+        ));
+        match treadmill_inference::screen_hardware(&spec.config, screen.threshold) {
+            Ok(plan) => {
+                let sweep_plan = plan.to_sweep_plan();
+                progress.push(format!(
+                    "job {id}: screen flagged {} of 16 cells for simulation",
+                    sweep_plan.cells.iter().filter(|c| c.flagged).count()
+                ));
+                run_factorial_sweep_controlled(
+                    &spec.config,
+                    &out_dir,
+                    &opts,
+                    Some(&sweep_plan),
+                    &mut ctrl,
+                )
+                .map(|o| (o.interrupted, o.warnings))
+            }
+            Err(e) => Err(treadmill_core::SweepError::Screen {
+                message: e.to_string(),
+            }),
+        }
+    } else {
+        run_sweep_controlled(&spec.config, &out_dir, &opts, &mut ctrl)
+            .map(|o| (o.interrupted, o.warnings))
+    };
+    match result {
+        Ok((interrupted, _)) if interrupted => {
             // Deliberately left `running`: the journal + sealed
             // checkpoint are exactly what `--resume` picks up.
             let _ = shared.audit.record(
@@ -781,7 +822,7 @@ fn execute_job(shared: &Arc<Shared>, id: &str) {
                 "job {id}: interrupted by drain; restart with --resume"
             ));
         }
-        Ok(outcome) => {
+        Ok((_, warnings)) => {
             let _ = shared.store.set_status(id, JobStatus::Done, None);
             let _ = shared.audit.record(
                 "run-done",
@@ -790,7 +831,7 @@ fn execute_job(shared: &Arc<Shared>, id: &str) {
                 &config_hash,
                 "",
             );
-            for warning in &outcome.warnings {
+            for warning in &warnings {
                 progress.push(format!("warning: {warning}"));
             }
             progress.push(format!("job {id}: done"));

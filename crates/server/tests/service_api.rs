@@ -189,6 +189,50 @@ fn submit_runs_to_done_and_serves_artifacts() {
 }
 
 #[test]
+fn screened_spec_runs_two_stage_sweep_and_serves_screen_artifacts() {
+    let (handle, addr, state) = mem_server("screened");
+
+    // High threshold: the analytic screen keeps only the worst cells,
+    // so the DES stage runs far fewer than 16 sweeps.
+    let spec = r#"{"config":{"workload":{"workload":"memcached"},
+        "target_rps":150000,"clients":2,"connections_per_client":4,
+        "duration_ms":40,"warmup_ms":10,"seed":11,
+        "screen":{"threshold":0.2}},"runs":1,"ckpt_events":25000}"#;
+    let resp = post_spec(&addr, spec, None);
+    assert_eq!(resp.status, 201, "{}", resp.text());
+    let id = field_str(&resp.text(), "id").expect("submit body has id");
+    wait_done(&addr, &id);
+
+    for (route, file) in [("screen", "screen.tsv"), ("factorial", "factorial.tsv")] {
+        let resp = get(&addr, &format!("/experiments/{id}/{route}"));
+        assert_eq!(resp.status, 200, "{route}: {}", resp.text());
+        let on_disk = fs::read(state.join("jobs").join(&id).join(file)).unwrap();
+        assert_eq!(resp.body, on_disk, "{route} differs from {file} on disk");
+    }
+    let screen = get(&addr, &format!("/experiments/{id}/screen")).text();
+    assert!(screen.contains("# threshold=0.200000"), "{screen}");
+    assert!(screen.contains("flagged"), "{screen}");
+    let factorial = get(&addr, &format!("/experiments/{id}/factorial")).text();
+    let simulated = factorial
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.starts_with("cell\t") && !l.is_empty())
+        .count();
+    let flagged = screen
+        .lines()
+        .filter(|l| l.ends_with("\t1"))
+        .count();
+    assert_eq!(simulated, flagged, "{factorial}\n{screen}");
+    assert!((1..16).contains(&simulated), "screen must drop some cells: {screen}");
+
+    // The progress stream narrates the two stages.
+    let events = get(&addr, &format!("/experiments/{id}/events")).text();
+    assert!(events.contains("analytic screen"), "{events}");
+    assert!(events.contains("flagged"), "{events}");
+
+    shutdown(handle, &state);
+}
+
+#[test]
 fn idempotency_key_deduplicates() {
     let (handle, addr, state) = mem_server("dedup");
 

@@ -49,7 +49,7 @@ mod synthetic;
 pub use mcrouter::Mcrouter;
 pub use popularity::ZipfSampler;
 pub use memcached::{Memcached, MemcachedOp};
-pub use profile::{OpClass, RequestProfile, Workload};
+pub use profile::{OpClass, RequestProfile, ServiceMoments, Workload};
 pub use sizes::SizeDistribution;
 pub use spec::{SpecError, WorkloadSpec};
 pub use synthetic::Synthetic;

@@ -11,7 +11,7 @@ use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use treadmill_stats::distribution::sample_lognormal;
 
-use crate::profile::{OpClass, RequestProfile, Workload};
+use crate::profile::{OpClass, RequestProfile, ServiceMoments, Workload};
 use crate::sizes::SizeDistribution;
 
 /// Memcached operation kinds.
@@ -212,6 +212,70 @@ impl Workload for Memcached {
             1.0 - self.get_fraction * (1.0 - self.hit_rate) * 0.5;
         (cpu + mem) * (1.0 + set_scale * 0.2) * slow_scale * miss_discount
     }
+
+    /// Exact first and second moments of the sampled service demand.
+    ///
+    /// The demand is `T = (k_c·A_c + k_m·A_m)·N·S` with `A_c/A_m` affine
+    /// in the value size `V`, class multipliers `(k_c, k_m)` over the
+    /// hit/miss/set mix, lognormal noise `N` (`E[N]=1`,
+    /// `E[N²]=e^{σ²}`), and the slow-path factor `S`. Class, `V`, `N`,
+    /// `S` are drawn independently, so the moments factor — except that
+    /// `A_c` and `A_m` share the same `V` draw, which the cross term
+    /// below accounts for.
+    fn service_moments(&self) -> ServiceMoments {
+        let g = self.get_fraction;
+        let h = self.hit_rate;
+        let ev = self.value_size.mean();
+        let ev2 = self.value_size.mean_square();
+        let (bc, cc) = (self.base_cpu_ns, self.cpu_ns_per_byte);
+        let (bm, cm) = (self.base_mem_ns, self.mem_ns_per_byte);
+
+        let e_ac = bc + cc * ev;
+        let e_am = bm + cm * ev;
+        let e_ac2 = bc * bc + 2.0 * bc * cc * ev + cc * cc * ev2;
+        let e_am2 = bm * bm + 2.0 * bm * cm * ev + cm * cm * ev2;
+        let e_acam = bc * bm + (bc * cm + bm * cc) * ev + cc * cm * ev2;
+
+        // (weight, cpu multiplier, mem multiplier): hit / miss / set,
+        // mirroring `sample_request`.
+        let classes = [
+            (g * h, 1.0, 1.0),
+            (g * (1.0 - h), 0.6, 0.4),
+            (1.0 - g, 1.15, 1.25),
+        ];
+        let mut e_b = 0.0;
+        let mut e_b2 = 0.0;
+        let mut e_b_cpu = 0.0;
+        for (w, kc, km) in classes {
+            e_b += w * (kc * e_ac + km * e_am);
+            e_b_cpu += w * kc * e_ac;
+            e_b2 += w
+                * (kc * kc * e_ac2
+                    + 2.0 * kc * km * e_acam
+                    + km * km * e_am2);
+        }
+
+        let sigma2 = self.service_noise_sigma * self.service_noise_sigma;
+        let e_n2 = sigma2.exp();
+        let e_s = 1.0 + self.slow_fraction * (self.slow_multiplier - 1.0);
+        let e_s2 = 1.0
+            + self.slow_fraction * (self.slow_multiplier * self.slow_multiplier - 1.0);
+
+        let mean = e_b * e_s;
+        let second = e_b2 * e_n2 * e_s2;
+        let cv2 = if mean > 0.0 { second / (mean * mean) - 1.0 } else { 0.0 };
+
+        ServiceMoments {
+            mean_ns: mean,
+            cv2: cv2.max(0.0),
+            cpu_fraction: if e_b > 0.0 { e_b_cpu / e_b } else { 0.5 },
+            request_bytes: 48.0 + self.key_size.mean() + (1.0 - g) * ev,
+            response_bytes: 48.0 + g * h * ev,
+            noise_sigma: self.service_noise_sigma,
+            slow_fraction: self.slow_fraction,
+            slow_multiplier: self.slow_multiplier,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -323,6 +387,54 @@ mod tests {
             hit_mem += all_hit.sample_request(&mut rng).mem_ns;
         }
         assert!(miss_mem < hit_mem * 0.6, "misses must be cheaper");
+    }
+
+    #[test]
+    fn moments_match_empirical_distribution() {
+        let w = Memcached::default();
+        let m = w.service_moments();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let n = 200_000;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        for _ in 0..n {
+            let s = w.sample_request(&mut rng).base_service_ns();
+            sum += s;
+            sum_sq += s * s;
+        }
+        let mean = sum / f64::from(n);
+        let second = sum_sq / f64::from(n);
+        let cv2 = second / (mean * mean) - 1.0;
+        assert!(
+            (mean / m.mean_ns - 1.0).abs() < 0.05,
+            "empirical mean {mean} vs closed form {}",
+            m.mean_ns
+        );
+        // The second moment is tail-dominated (Pareto values + slow
+        // path), so the sampling error bound is looser.
+        assert!(
+            (cv2 / m.cv2 - 1.0).abs() < 0.25,
+            "empirical cv² {cv2} vs closed form {}",
+            m.cv2
+        );
+        assert!(m.cpu_fraction > 0.5 && m.cpu_fraction < 0.8, "{}", m.cpu_fraction);
+    }
+
+    #[test]
+    fn moments_wire_sizes_match_empirical() {
+        let w = Memcached::default();
+        let m = w.service_moments();
+        let mut rng = SmallRng::seed_from_u64(12);
+        let n = 100_000;
+        let mut req = 0.0;
+        let mut resp = 0.0;
+        for _ in 0..n {
+            let p = w.sample_request(&mut rng);
+            req += f64::from(p.request_bytes);
+            resp += f64::from(p.response_bytes);
+        }
+        assert!((req / f64::from(n) / m.request_bytes - 1.0).abs() < 0.05);
+        assert!((resp / f64::from(n) / m.response_bytes - 1.0).abs() < 0.05);
     }
 
     #[test]

@@ -55,6 +55,38 @@ impl RequestProfile {
     }
 }
 
+/// Closed-form moments of a workload's service-demand and wire-size
+/// distributions — the input to the analytic fast-path estimator
+/// (`treadmill_inference::analytic`), which needs second moments and a
+/// CPU/memory split that [`Workload::mean_service_ns`] alone cannot
+/// provide.
+///
+/// All quantities are at base frequency with local memory (the same
+/// reference point as [`RequestProfile`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceMoments {
+    /// Mean total service demand, ns. Implementations may compute this
+    /// exactly even when `mean_service_ns()` is an approximation.
+    pub mean_ns: f64,
+    /// Squared coefficient of variation of total service demand,
+    /// Var[S]/E[S]².
+    pub cv2: f64,
+    /// Fraction of the mean demand that is frequency-scalable CPU work
+    /// (the remainder is memory-bound and NUMA-sensitive).
+    pub cpu_fraction: f64,
+    /// Mean request size on the wire, client → server, bytes.
+    pub request_bytes: f64,
+    /// Mean response size on the wire, server → client, bytes.
+    pub response_bytes: f64,
+    /// Log-scale sigma of the per-request multiplicative noise (0 when
+    /// the workload draws none) — shapes the analytic tail quantiles.
+    pub noise_sigma: f64,
+    /// Fraction of requests on a slow path (0 when none).
+    pub slow_fraction: f64,
+    /// Service multiplier on the slow path (1 when none).
+    pub slow_multiplier: f64,
+}
+
 /// A service workload: something that can generate request profiles.
 ///
 /// Implementations should be cheap to sample (called once per simulated
@@ -71,6 +103,23 @@ pub trait Workload: fmt::Debug + Send + Sync {
     /// Mean total service demand in nanoseconds at base frequency; used
     /// to translate a target utilisation into a request rate.
     fn mean_service_ns(&self) -> f64;
+
+    /// Closed-form moments for the analytic estimator. The default is a
+    /// conservative stand-in (exponential-like variability, even
+    /// CPU/memory split, small messages); workloads with exact forms
+    /// should override it.
+    fn service_moments(&self) -> ServiceMoments {
+        ServiceMoments {
+            mean_ns: self.mean_service_ns(),
+            cv2: 1.0,
+            cpu_fraction: 0.5,
+            request_bytes: 128.0,
+            response_bytes: 256.0,
+            noise_sigma: 0.0,
+            slow_fraction: 0.0,
+            slow_multiplier: 1.0,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -133,6 +133,53 @@ impl SizeDistribution {
             }
         }
     }
+
+    /// The exact or approximate second moment E[X²] of the distribution,
+    /// in bytes². Exact for `Fixed`, discrete `Uniform`, capped `Pareto`
+    /// (the analytic form of E[min(X, cap)²]) and `Mixture`; for
+    /// `Lognormal` the uncapped moment is clipped at `cap²`.
+    pub fn mean_square(&self) -> f64 {
+        match self {
+            SizeDistribution::Fixed { bytes } => {
+                let b = f64::from(*bytes);
+                b * b
+            }
+            SizeDistribution::Uniform { low, high } => {
+                // Discrete uniform on [low, high]: E[X²] = Σx²/n via the
+                // square-pyramidal closed form.
+                let sum_sq = |n: f64| n * (n + 1.0) * (2.0 * n + 1.0) / 6.0;
+                let (l, h) = (f64::from(*low), f64::from(*high));
+                (sum_sq(h) - sum_sq(l - 1.0)) / (h - l + 1.0)
+            }
+            SizeDistribution::Pareto { minimum, shape, cap } => {
+                // E[min(X, c)²] = ∫_m^c x² a m^a x^{-a-1} dx + c² (m/c)^a.
+                let (m, c, a) = (f64::from(*minimum), f64::from(*cap), *shape);
+                if c <= m {
+                    return c * c;
+                }
+                let tail = c * c * (m / c).powf(a);
+                let body = if (a - 2.0).abs() < 1e-9 {
+                    // a = 2: the integral degenerates to a logarithm.
+                    a * m.powf(a) * (c / m).ln()
+                } else {
+                    a * m.powf(a) / (2.0 - a) * (c.powf(2.0 - a) - m.powf(2.0 - a))
+                };
+                body + tail
+            }
+            SizeDistribution::Lognormal { mu, sigma, cap } => {
+                let uncapped = (2.0 * mu + 2.0 * sigma * sigma).exp();
+                uncapped.min(f64::from(*cap) * f64::from(*cap))
+            }
+            SizeDistribution::Mixture { components } => {
+                let total: f64 = components.iter().map(|(w, _)| w).sum();
+                components
+                    .iter()
+                    .map(|(w, d)| w * d.mean_square())
+                    .sum::<f64>()
+                    / total
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +258,45 @@ mod tests {
         }
         assert!(small > 800 && large > 800, "small {small}, large {large}");
         assert!((d.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_square_closed_forms() {
+        assert_eq!(SizeDistribution::Fixed { bytes: 7 }.mean_square(), 49.0);
+        // Discrete uniform on [1, 3]: (1 + 4 + 9)/3.
+        let u = SizeDistribution::Uniform { low: 1, high: 3 };
+        assert!((u.mean_square() - 14.0 / 3.0).abs() < 1e-9);
+        // Mixture: weighted average of component second moments.
+        let m = SizeDistribution::Mixture {
+            components: vec![
+                (1.0, SizeDistribution::Fixed { bytes: 2 }),
+                (3.0, SizeDistribution::Fixed { bytes: 4 }),
+            ],
+        };
+        assert!((m.mean_square() - (4.0 + 3.0 * 16.0) / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_square_matches_empirical_pareto() {
+        let d = SizeDistribution::Pareto {
+            minimum: 512,
+            shape: 1.6,
+            cap: 16_384,
+        };
+        let mut rng = SmallRng::seed_from_u64(6);
+        let n = 400_000;
+        let sum_sq: f64 = (0..n)
+            .map(|_| {
+                let s = f64::from(d.sample(&mut rng));
+                s * s
+            })
+            .sum();
+        let empirical = sum_sq / f64::from(n);
+        let declared = d.mean_square();
+        assert!(
+            (empirical / declared - 1.0).abs() < 0.1,
+            "empirical {empirical} vs declared {declared}"
+        );
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //!     Run two hardware configurations under the same JSON load test
 //!     and compare their per-run p99s with Welch's t-test.
 //!
+//! treadmill-cli screen <config.json> [--threshold T] [--out DIR] [--runs N] [--seed S]
+//!     Analytic two-stage screening: rank all 16 hardware cells with
+//!     the closed-form M/G/k estimator, flag the ones whose predicted
+//!     tail effect exceeds T, and (with --out) spend DES only on the
+//!     flagged cells, writing screen.tsv + factorial.tsv.
+//!
 //! treadmill-cli screen <memcached|mcrouter> [--rps R] [--runs N] [--seed S]
 //!     Randomised factor screening (§IV-B): which factors measurably
 //!     move p99 at this load?
@@ -67,6 +73,7 @@ struct Flags {
     addr: Option<String>,
     key: Option<String>,
     artifact: String,
+    threshold: Option<f64>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -81,6 +88,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         addr: None,
         key: None,
         artifact: "attribution".to_string(),
+        threshold: None,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -126,6 +134,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--key" => {
                 flags.key = Some(iter.next().ok_or("--key needs a value")?.clone());
             }
+            "--threshold" => {
+                flags.threshold = Some(
+                    iter.next()
+                        .ok_or("--threshold needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--threshold: {e}"))?,
+                );
+            }
             "--artifact" => {
                 flags.artifact = iter
                     .next()
@@ -146,6 +162,7 @@ fn usage() -> &'static str {
      treadmill-cli sweep <config.json> --out DIR [--runs N] [--seed S] [--resume] [--ckpt-events K]\n  \
      treadmill-cli attribute <memcached|mcrouter> [--rps R] [--runs N] [--seed S]\n  \
      treadmill-cli compare <config.json> <cfgA 0-15> <cfgB 0-15> [--runs N]\n  \
+     treadmill-cli screen <config.json> [--threshold T] [--out DIR] [--runs N] [--seed S]\n  \
      treadmill-cli screen <memcached|mcrouter> [--rps R] [--runs N] [--seed S]\n  \
      treadmill-cli submit <spec.json> --addr HOST:PORT [--key K]\n  \
      treadmill-cli status <job-id> --addr HOST:PORT\n  \
@@ -430,11 +447,14 @@ fn cmd_attribute(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_screen(flags: &Flags) -> Result<(), String> {
-    let name = flags
+    let target = flags
         .positional
         .first()
-        .ok_or("screen needs a workload name")?;
-    let workload = workload_by_name(name)?;
+        .ok_or("screen needs a workload name or config.json")?;
+    if target.ends_with(".json") {
+        return cmd_screen_analytic(flags, target);
+    }
+    let workload = workload_by_name(target)?;
     let experiments = (flags.runs * 8).max(16);
     println!(
         "screening 4 factors with {experiments} randomised experiments at {} RPS ...",
@@ -447,7 +467,7 @@ fn cmd_screen(flags: &Flags) -> Result<(), String> {
             alpha: 0.05,
             seed: flags.seed,
         },
-        |levels, i| {
+        |levels: &[bool], i: usize| {
             let index = levels
                 .iter()
                 .enumerate()
@@ -462,7 +482,8 @@ fn cmd_screen(flags: &Flags) -> Result<(), String> {
                 .aggregated
                 .p99
         },
-    );
+    )
+    .map_err(|e| e.to_string())?;
     println!(
         "{:<8} {:>12} {:>12} {:>10} {:>12}",
         "factor", "p99@low", "p99@high", "p-value", "significant"
@@ -477,6 +498,90 @@ fn cmd_screen(flags: &Flags) -> Result<(), String> {
             if r.significant { "YES" } else { "no" }
         );
     }
+    Ok(())
+}
+
+/// Two-stage analytic screening over a JSON-configured load test: the
+/// closed-form M/G/k estimator ranks all 16 hardware cells, and (with
+/// `--out`) the DES stage is spent only on the flagged ones.
+fn cmd_screen_analytic(flags: &Flags, path: &str) -> Result<(), String> {
+    let mut config = load_config(path)?;
+    config.seed = flags.seed;
+    let threshold = flags
+        .threshold
+        .or(config.screen.map(|s| s.threshold))
+        .unwrap_or_else(|| treadmill::core::ScreenSpec::default().threshold);
+    let plan = treadmill::inference::screen_hardware(&config, threshold)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "analytic screen of 16 hardware cells at {} RPS (threshold {:.3}):",
+        config.target_rps, threshold
+    );
+    println!(
+        "{:<5} {:<24} {:>10} {:>10} {:>10} {:>6} {:>8} {:>8}",
+        "cell", "config", "p50", "p95", "p99", "util", "effect", "flagged"
+    );
+    for &index in &plan.ranking {
+        let cell = &plan.cells[index];
+        println!(
+            "{:<5} {:<24} {:>8.1}us {:>8.1}us {:>8.1}us {:>6.2} {:>8.3} {:>8}",
+            cell.index,
+            HardwareConfig::from_index(cell.index).to_string(),
+            cell.p50_us,
+            cell.p95_us,
+            cell.p99_us,
+            cell.utilization,
+            cell.tail_effect,
+            if cell.flagged { "YES" } else { "no" }
+        );
+    }
+    println!(
+        "flagged {} of {} cells (baseline p99 {:.1}us)",
+        plan.flagged.len(),
+        plan.cells.len(),
+        plan.baseline_p99_us
+    );
+    let Some(out) = &flags.out else {
+        println!("(pass --out DIR to DES-simulate the flagged cells)");
+        return Ok(());
+    };
+    let mut opts = SweepOptions {
+        runs: flags.runs as u64,
+        resume: flags.resume,
+        ..SweepOptions::default()
+    };
+    if let Some(k) = flags.ckpt_events {
+        opts.ckpt_events = k;
+    }
+    println!(
+        "DES stage: simulating {} flagged cells into {out} ...",
+        plan.flagged.len()
+    );
+    let outcome = treadmill::core::run_screened_sweep(
+        &config,
+        std::path::Path::new(out),
+        &opts,
+        &plan.to_sweep_plan(),
+    )
+    .map_err(|e| e.to_string())?;
+    for cell in &outcome.cells {
+        println!(
+            "  cell {:2}: p99 {:8.1}us ({} samples over {} runs)",
+            cell.index, cell.p99_us, cell.samples, cell.runs
+        );
+    }
+    for warning in &outcome.warnings {
+        println!("  note: {warning}");
+    }
+    println!(
+        "simulated {} of 16 cells ({} screened out)",
+        outcome.simulated.len(),
+        outcome.screened_out.len()
+    );
+    if let Some(screen_path) = &outcome.screen_path {
+        println!("screen: {}", screen_path.display());
+    }
+    println!("factorial: {}", outcome.factorial_path.display());
     Ok(())
 }
 

@@ -164,6 +164,61 @@ fn one_server_sharded_run_matches_legacy_golden_bits() {
 }
 
 #[test]
+fn threshold_zero_screened_sweep_matches_full_factorial_bytes() {
+    use std::fs;
+    use treadmill::core::{
+        run_factorial_sweep, run_screened_sweep, LoadTestConfig, SweepOptions,
+    };
+    use treadmill::inference::screen_hardware;
+
+    // A screen with threshold 0 flags every cell, so the screened sweep
+    // must degenerate to the full factorial exactly: same per-cell
+    // seeds, same DES bits, byte-identical artifacts. Any divergence
+    // means the screening layer leaks into the measurement (e.g. the
+    // per-cell config hash picking up the screen knob).
+    let config = LoadTestConfig::from_json(
+        r#"{"workload": {"workload": "memcached"},
+            "target_rps": 120000, "clients": 2,
+            "connections_per_client": 4,
+            "duration_ms": 30, "warmup_ms": 10, "seed": 42}"#,
+    )
+    .unwrap();
+    let opts = SweepOptions {
+        runs: 1,
+        ..SweepOptions::default()
+    };
+    let base = std::env::temp_dir().join(format!("tml-golden-screen-{}", std::process::id()));
+    let full_dir = base.join("full");
+    let screened_dir = base.join("screened");
+    let _ = fs::remove_dir_all(&base);
+
+    run_factorial_sweep(&config, &full_dir, &opts).unwrap();
+    let plan = screen_hardware(&config, 0.0).unwrap();
+    assert_eq!(plan.flagged.len(), 16, "threshold 0 must flag every cell");
+    run_screened_sweep(&config, &screened_dir, &opts, &plan.to_sweep_plan()).unwrap();
+
+    let full_factorial = fs::read(full_dir.join("factorial.tsv")).unwrap();
+    let screened_factorial = fs::read(screened_dir.join("factorial.tsv")).unwrap();
+    assert_eq!(
+        full_factorial, screened_factorial,
+        "factorial.tsv bytes diverged under a flag-everything screen"
+    );
+    for cell in 0..16 {
+        for artifact in ["summary.tsv", "attribution.tsv", "cell_0.tsv"] {
+            let rel = format!("hw_{cell:02}/{artifact}");
+            let full = fs::read(full_dir.join(&rel)).unwrap();
+            let screened = fs::read(screened_dir.join(&rel)).unwrap();
+            assert_eq!(full, screened, "{rel} bytes diverged");
+        }
+    }
+    // The screened run writes its extra prediction artifact; the full
+    // factorial must not.
+    assert!(screened_dir.join("screen.tsv").exists());
+    assert!(!full_dir.join("screen.tsv").exists());
+    let _ = fs::remove_dir_all(&base);
+}
+
+#[test]
 fn distinct_run_indices_stay_distinct() {
     let test = golden_test();
     let a = test.run(0);

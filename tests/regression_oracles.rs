@@ -1,7 +1,9 @@
 //! Cross-solver oracle properties: the three quantile-regression
 //! solvers (exact LP, smoothed IRLS, saturated-design) must agree with
 //! each other within their documented tolerances on randomly generated
-//! problems.
+//! problems — plus input-edge oracles for the screening entry points
+//! (degenerate factor sets must come back as typed errors, never as an
+//! empty ranking a caller could mistake for "nothing matters").
 
 // Integration tests exercise the public API end-to-end: unwrap on
 // already-validated setup and exact float comparison (bit-identity is
@@ -14,6 +16,41 @@ use treadmill::stats::regression::{
     experiment_quantile_fit, quantile_regression_exact, quantile_regression_irls,
     saturated_quantile_fit, total_pinball_loss, Cell, FactorialDesign, IrlsOptions,
 };
+
+use treadmill::inference::{
+    screen_cells, screen_factors, ScreenError, ScreeningOptions, TailPrediction,
+};
+
+/// Screening a 0- or 1-factor space is a caller bug: a 2^0 or 2^1
+/// "design" cannot separate factor effects from noise, and silently
+/// returning an empty ranking would read as "no factor matters". Both
+/// entry points must refuse with a typed error instead.
+#[test]
+fn degenerate_factor_sets_are_typed_screening_errors() {
+    let opts = ScreeningOptions::default();
+    let err = screen_factors(&[], opts, |_, _| 0.0).unwrap_err();
+    assert_eq!(err, ScreenError::TooFewFactors { count: 0 });
+    assert!(err.to_string().contains("at least 2 factors"), "{err}");
+
+    let err = screen_factors(&["numa"], opts, |_, _| 0.0).unwrap_err();
+    assert_eq!(err, ScreenError::TooFewFactors { count: 1 });
+
+    // The analytic cell screen refuses the same inputs before ever
+    // calling the predictor.
+    let never = |_: &[bool], _: usize| -> Result<TailPrediction, String> {
+        panic!("predictor must not run for a degenerate factor set")
+    };
+    let err = screen_cells(&[], 0.25, never).unwrap_err();
+    assert_eq!(err, ScreenError::TooFewFactors { count: 0 });
+    let err = screen_cells(&["numa"], 0.25, never).unwrap_err();
+    assert_eq!(err, ScreenError::TooFewFactors { count: 1 });
+
+    // And the other end of the range: 2^k enumeration is capped.
+    let names: Vec<String> = (0..17).map(|i| format!("f{i}")).collect();
+    let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    let err = screen_cells(&refs, 0.25, never).unwrap_err();
+    assert_eq!(err, ScreenError::TooManyFactors { count: 17 });
+}
 
 fn design_count(k: usize, order: usize) -> usize {
     // 1 + sum_{i=1..order} C(k, i)

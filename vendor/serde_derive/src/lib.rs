@@ -5,8 +5,9 @@
 //! traits in the vendored `serde` shim. Supports exactly the container
 //! shapes this workspace uses:
 //!
-//! * named structs, with `#[serde(default)]`, `#[serde(default = "path")]`
-//!   and `#[serde(skip, default)]` field attributes;
+//! * named structs, with `#[serde(default)]`, `#[serde(default = "path")]`,
+//!   `#[serde(skip, default)]` and `#[serde(skip_serializing_if = "path")]`
+//!   field attributes;
 //! * single-field (newtype) tuple structs;
 //! * all-unit enums, serialised as the variant-name string;
 //! * internally tagged enums (`#[serde(tag = "...", rename_all =
@@ -38,6 +39,7 @@ struct SerdeAttrs {
     rename_all: Option<String>,
     skip: bool,
     default: Option<DefaultKind>,
+    skip_serializing_if: Option<String>,
 }
 
 enum DefaultKind {
@@ -165,6 +167,7 @@ fn parse_serde_directives(body: TokenStream, out: &mut SerdeAttrs) {
             ("skip", None) => out.skip = true,
             ("default", None) => out.default = Some(DefaultKind::Trait),
             ("default", Some(v)) => out.default = Some(DefaultKind::Path(v)),
+            ("skip_serializing_if", Some(v)) => out.skip_serializing_if = Some(v),
             (other, _) => panic!("serde shim derive: unsupported serde directive `{}`", other),
         }
         if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
@@ -325,10 +328,18 @@ fn gen_serialize(item: &Item) -> String {
                 if f.attrs.skip {
                     continue;
                 }
-                s.push_str(&format!(
-                    "__map.insert(\"{n}\".to_string(), ::serde::Serialize::serialize_value(&self.{n}));\n",
-                    n = f.name
-                ));
+                if let Some(pred) = &f.attrs.skip_serializing_if {
+                    s.push_str(&format!(
+                        "if !({pred})(&self.{n}) {{\n\
+                         __map.insert(\"{n}\".to_string(), ::serde::Serialize::serialize_value(&self.{n}));\n}}\n",
+                        n = f.name
+                    ));
+                } else {
+                    s.push_str(&format!(
+                        "__map.insert(\"{n}\".to_string(), ::serde::Serialize::serialize_value(&self.{n}));\n",
+                        n = f.name
+                    ));
+                }
             }
             s.push_str("::serde::Value::Object(__map)");
             s
