@@ -1,4 +1,4 @@
-//! Performance smoke test: times the seven hot-path layers and writes
+//! Performance smoke test: times the eight hot-path layers and writes
 //! `BENCH_treadmill.json` so the perf trajectory is tracked per commit.
 //!
 //! Stages (one per optimized layer):
@@ -27,7 +27,11 @@
 //!    screen ranks all 16 hardware cells and DES runs are spent only on
 //!    the flagged ones; the stage records cells screened out, cells
 //!    simulated, and the measured wall-clock speedup over the full
-//!    factorial it replaces.
+//!    factorial it replaces;
+//! 8. `lint_workspace` — the static-analysis gate itself: a full
+//!    workspace scan + parse + call-graph + reachability pass through
+//!    `treadmill-lint`, pinned under 2 s so the lint stays an
+//!    interactive pre-commit habit rather than a CI-only tax.
 //!
 //! Every benchmark entry records the worker `threads` and world
 //! `shards` it ran with (schema 2).
@@ -91,7 +95,6 @@ fn bench_engine(chains: u64, hops: u32) -> (u64, f64) {
     for i in 0..chains {
         engine.schedule(SimTime::from_nanos(i % 64), Hop { remaining: hops });
     }
-    // tml-lint: allow(DET002, bench harness measures real wall time around the deterministic engine run; the timing never feeds back into simulated state)
     let start = Instant::now();
     engine.run_to_completion();
     let wall = start.elapsed().as_secs_f64();
@@ -143,14 +146,12 @@ fn bench_run_pair(seed: u64, duration_ms: u64, ckpt_events: u64, reps: u32) -> R
     let mut snapshot_bytes = 0usize;
     let mut ckpt_buf = Vec::new();
     for _ in 0..reps {
-        // tml-lint: allow(DET002, wall-clock timing of seeded deterministic runs; results go to BENCH_treadmill.json only)
         let start = Instant::now();
         let report = test.clone().run(0);
         run_wall = run_wall.min(start.elapsed().as_secs_f64());
         responses = report.run.total_responses();
         p99 = report.aggregated.p99;
 
-        // tml-lint: allow(DET002, wall-clock timing of the seeded checkpoint path; informational perf numbers only)
         let start = Instant::now();
         let mut run = ResumableRun::new(test.clone(), 0);
         ckpts = 0;
@@ -159,7 +160,6 @@ fn bench_run_pair(seed: u64, duration_ms: u64, ckpt_events: u64, reps: u32) -> R
             if run.is_finished() {
                 break;
             }
-            // tml-lint: allow(DET002, times the checkpoint call itself for the overhead budget)
             let c = Instant::now();
             run.checkpoint_into(&mut ckpt_buf);
             in_ckpt += c.elapsed().as_secs_f64();
@@ -195,7 +195,6 @@ fn bench_collect(seed: u64, runs_per_config: usize, duration_ms: u64) -> (usize,
     plan.duration = SimDuration::from_millis(duration_ms);
     plan.warmup = SimDuration::from_millis(duration_ms / 4);
     plan.seed = seed;
-    // tml-lint: allow(DET002, wall-clock timing of the seeded factorial collect stage; informational perf numbers only)
     let start = Instant::now();
     let dataset = treadmill_inference::collect(&plan);
     let wall = start.elapsed().as_secs_f64();
@@ -226,7 +225,6 @@ fn sharded_world(
 
 /// Runs one sharded test, returning (events, responses, wall seconds).
 fn bench_sharded(test: &LoadTest) -> (u64, usize, f64) {
-    // tml-lint: allow(DET002, wall-clock timing of a seeded deterministic sharded run; informational perf numbers only)
     let start = Instant::now();
     let report = test.run(0);
     let wall = start.elapsed().as_secs_f64();
@@ -259,14 +257,12 @@ fn bench_screened_sweep(seed: u64, rps: f64, duration_ms: u64, threshold: f64) -
     let base = std::env::temp_dir().join(format!("tml-perf-screen-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&base);
 
-    // tml-lint: allow(DET002, wall-clock timing of the seeded full factorial; informational perf numbers only)
     let start = Instant::now();
     run_factorial_sweep(&config, &base.join("full"), &opts).expect("full factorial sweep");
     let full_wall = start.elapsed().as_secs_f64();
 
     // The screened wall includes the analytic screen itself — that cost
     // is part of the two-stage path being sold as a speedup.
-    // tml-lint: allow(DET002, wall-clock timing of the seeded screened sweep; informational perf numbers only)
     let start = Instant::now();
     let plan = treadmill_inference::screen_hardware(&config, threshold).expect("analytic screen");
     let outcome = run_screened_sweep(&config, &base.join("screened"), &opts, &plan.to_sweep_plan())
@@ -423,11 +419,9 @@ fn main() {
     let mut legacy_wall = f64::INFINITY;
     let mut solo_wall = f64::INFINITY;
     for _ in 0..3 {
-        // tml-lint: allow(DET002, wall-clock timing of seeded runs for the one-shard overhead figure; informational only)
         let t = Instant::now();
         let legacy = solo.run(0);
         legacy_wall = legacy_wall.min(t.elapsed().as_secs_f64());
-        // tml-lint: allow(DET002, wall-clock timing of seeded runs for the one-shard overhead figure; informational only)
         let t = Instant::now();
         let forced = solo.run_sharded(0);
         solo_wall = solo_wall.min(t.elapsed().as_secs_f64());
@@ -506,6 +500,40 @@ fn main() {
         sc.simulated, sc.screened_out
     );
 
+    // Stage 8: the static-analysis gate. Same entry point as
+    // `tml-lint --check`, timed end to end (walk, scan, parse, graph,
+    // reachability, reconcile). The 2 s ceiling is the interactivity
+    // contract DESIGN.md promises for pre-commit use.
+    let lint_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let lint_baseline = std::fs::read_to_string(lint_root.join("lint-baseline.toml"))
+        .ok()
+        .and_then(|text| treadmill_lint::baseline::parse(&text).ok())
+        .unwrap_or_default();
+    let lint_start = Instant::now();
+    let lint = treadmill_lint::analyze_workspace(&lint_root, &lint_baseline)
+        .expect("workspace lint scan succeeds");
+    let lint_wall = lint_start.elapsed().as_secs_f64();
+    assert!(
+        lint.failures.is_empty() && lint.ratchet_errors.is_empty(),
+        "workspace must be lint-clean during the perf smoke"
+    );
+    assert!(
+        lint_wall < 2.0,
+        "lint_workspace took {lint_wall:.2}s — the 2s interactivity budget is blown"
+    );
+    let mut lint_stage = stage(
+        "lint_workspace",
+        "files",
+        lint.files_scanned as u64,
+        lint_wall,
+        1,
+        1,
+    );
+    if let (Value::Object(obj), Some(sem)) = (&mut lint_stage, lint.semantics.as_ref()) {
+        obj.insert("graph_fns".to_string(), Value::UInt(sem.graph.fn_count() as u64));
+        obj.insert("graph_edges".to_string(), Value::UInt(sem.edge_count as u64));
+    }
+
     let mut root = Map::new();
     root.insert("schema".to_string(), Value::UInt(2));
     root.insert(
@@ -523,6 +551,7 @@ fn main() {
             sharded_stage,
             mw_stage,
             screen_stage,
+            lint_stage,
         ]),
     );
     let json =
@@ -535,7 +564,7 @@ fn main() {
     let benchmarks = parsed["benchmarks"]
         .as_array()
         .expect("report has a benchmarks array");
-    assert_eq!(benchmarks.len(), 7, "expected one entry per stage");
+    assert_eq!(benchmarks.len(), 8, "expected one entry per stage");
     for b in benchmarks {
         assert!(
             b.get("threads").is_some() && b.get("shards").is_some(),

@@ -1,0 +1,32 @@
+// Fixture for DET008: overlapping shard-mutex guards.
+use std::sync::Mutex;
+
+pub struct Pool {
+    shards: Vec<Mutex<u64>>,
+}
+
+impl Pool {
+    fn positive_overlap(&self) {
+        let first = self.shards[0].lock();
+        let second = self.shards[1].lock();
+        let _ = (first, second);
+    }
+
+    fn suppressed_overlap(&self) {
+        let outer = self.shards[2].lock();
+        // tml-lint: allow(DET008, fixture: indices 2 and 3 are disjoint by construction)
+        let inner = self.shards[3].lock();
+        let _ = (outer, inner);
+    }
+
+    fn negative_sequential(&self) {
+        for shard in &self.shards {
+            let guard = shard.lock();
+            let _ = guard;
+        }
+        for shard in &self.shards {
+            let guard = shard.lock();
+            let _ = guard;
+        }
+    }
+}

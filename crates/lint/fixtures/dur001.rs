@@ -1,0 +1,26 @@
+// Fixture for DUR001: fsync-before-publish discipline.
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+
+fn positive_rename_unsynced(tmp: &Path, dst: &Path) -> std::io::Result<()> {
+    let mut f = File::create(tmp)?;
+    f.write_all(b"payload")?;
+    fs::rename(tmp, dst)?;
+    Ok(())
+}
+
+fn suppressed_scratch(p: &Path) -> std::io::Result<()> {
+    let mut f = File::create(p)?;
+    // tml-lint: allow(DUR001, fixture: scratch file regenerated on every run)
+    f.write_all(b"scratch")?;
+    Ok(())
+}
+
+fn negative_synced_publish(tmp: &Path, dst: &Path) -> std::io::Result<()> {
+    let mut f = File::create(tmp)?;
+    f.write_all(b"payload")?;
+    f.sync_all()?;
+    fs::rename(tmp, dst)?;
+    Ok(())
+}

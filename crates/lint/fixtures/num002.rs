@@ -1,0 +1,22 @@
+// Fixture for NUM002: unchecked arithmetic on raw time/seq parameters.
+
+fn positive_advance(now_ns: u64, delta_ns: u64) -> u64 {
+    now_ns + delta_ns
+}
+
+fn positive_scale(base_nanos: u64) -> u64 {
+    base_nanos * 3
+}
+
+fn suppressed_wrap(tick_seq: u64) -> u64 {
+    // tml-lint: allow(NUM002, fixture: sequence numbers wrap modularly by design)
+    tick_seq + 1
+}
+
+fn negative_checked(now_ns: u64, delta_ns: u64) -> Option<u64> {
+    now_ns.checked_add(delta_ns)
+}
+
+fn negative_untainted(count: u64) -> u64 {
+    count + 1
+}

@@ -1,0 +1,30 @@
+// Fixture for PANIC002 (library half): panic sites whose containing
+// functions the service fixture reaches.
+pub fn run_job() {
+    boom();
+}
+
+pub fn contained_job() {
+    contained_boom();
+}
+
+pub fn audited_job() {
+    audited_boom();
+}
+
+fn boom() {
+    inner().unwrap();
+}
+
+fn contained_boom() {
+    inner().unwrap();
+}
+
+fn audited_boom() {
+    // tml-lint: allow(PANIC002, fixture: documented invariant abort audited at the job boundary)
+    inner().expect("invariant");
+}
+
+fn inner() -> Option<u32> {
+    None
+}

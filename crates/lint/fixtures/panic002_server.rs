@@ -1,0 +1,10 @@
+// Fixture for PANIC002 (driver half): the service executor calls into
+// the core fixture, once bare and once contained.
+pub fn executor() {
+    run_job();
+    audited_job();
+}
+
+pub fn safe_executor() {
+    let _ = std::panic::catch_unwind(|| contained_job());
+}

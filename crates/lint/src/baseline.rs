@@ -83,9 +83,86 @@ pub fn parse(text: &str) -> Result<Baseline, String> {
     Ok(baseline)
 }
 
+/// Rewrites baseline text against the actual counts from an analysis
+/// (`--prune-baseline`): entries whose debt is fully paid are dropped,
+/// entries above the remaining debt are lowered, and comments, blank
+/// lines, and section order are preserved. `[panic-budget-files]`
+/// entries are never dropped — they shrink to the actual count, so a
+/// paid-off carve-out becomes a permanent `= 0` pin instead of quietly
+/// rejoining its crate's pool.
+pub fn prune(text: &str, analysis: &crate::Analysis) -> String {
+    let mut out = String::new();
+    let mut section = String::new();
+    for raw in text.lines() {
+        // Split a trailing comment off, mirroring `parse`'s rule.
+        let (body, comment) = match raw.split_once('#') {
+            Some((before, after))
+                if !before.contains('"') || before.matches('"').count() % 2 == 0 =>
+            {
+                (before, Some(after))
+            }
+            _ => (raw, None),
+        };
+        let line = body.trim();
+        if line.is_empty() {
+            out.push_str(raw);
+            out.push('\n');
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            section = name.trim().to_string();
+            out.push_str(raw);
+            out.push('\n');
+            continue;
+        }
+        let Some((key_part, value_part)) = line.split_once('=') else {
+            out.push_str(raw);
+            out.push('\n');
+            continue;
+        };
+        let key = key_part.trim().trim_matches('"').to_string();
+        let budget: usize = match value_part.trim().parse() {
+            Ok(v) => v,
+            Err(_) => {
+                out.push_str(raw);
+                out.push('\n');
+                continue;
+            }
+        };
+        let (actual, keep_at_zero) = match section.as_str() {
+            "panic-budget" => (analysis.panic_actual.get(&key).copied().unwrap_or(0), false),
+            "panic-budget-files" => (
+                analysis.panic_file_actual.get(&key).copied().unwrap_or(0),
+                true,
+            ),
+            "grandfathered" => (analysis.grand_actual.get(&key).copied().unwrap_or(0), false),
+            _ => {
+                out.push_str(raw);
+                out.push('\n');
+                continue;
+            }
+        };
+        let new = budget.min(actual);
+        if new == budget {
+            out.push_str(raw);
+            out.push('\n');
+        } else if new > 0 || keep_at_zero {
+            out.push_str(&format!("\"{key}\" = {new}"));
+            if let Some(c) = comment {
+                out.push_str("  #");
+                out.push_str(c);
+            }
+            out.push('\n');
+        }
+        // else: debt fully paid — the entry is dropped.
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Analysis;
 
     #[test]
     fn parses_sections_comments_and_quoted_keys() {
@@ -127,5 +204,55 @@ treadmill-core = 3
         let b = parse("").expect("empty ok");
         assert!(b.panic_budget.is_empty() && b.grandfathered.is_empty());
         assert!(b.panic_budget_files.is_empty());
+    }
+
+    #[test]
+    fn prune_drops_lowers_and_pins() {
+        let text = "\
+# header comment stays
+[panic-budget]
+\"treadmill-stats\" = 4  # solver invariants
+treadmill-core = 2
+
+[panic-budget-files]
+\"crates/inference/src/analytic.rs\" = 0
+\"crates/core/src/sweep.rs\" = 3
+
+[grandfathered]
+\"DET002:crates/x/src/y.rs\" = 2
+\"DET001:crates/x/src/z.rs\" = 1
+";
+        let mut analysis = Analysis::default();
+        // stats paid one site down (4 → 3); core paid off entirely.
+        analysis.panic_actual.insert("treadmill-stats".to_string(), 3);
+        // the sweep carve-out is fully paid: it must pin at 0, not vanish.
+        analysis
+            .panic_file_actual
+            .insert("crates/core/src/sweep.rs".to_string(), 0);
+        // one grandfathered entry shrinks, the other is dead.
+        analysis
+            .grand_actual
+            .insert("DET002:crates/x/src/y.rs".to_string(), 1);
+
+        let pruned = prune(text, &analysis);
+        assert!(pruned.contains("# header comment stays"));
+        assert!(pruned.contains("\"treadmill-stats\" = 3"), "{pruned}");
+        assert!(pruned.contains("# solver invariants"), "comment preserved");
+        assert!(!pruned.contains("treadmill-core"), "paid-off crate dropped");
+        assert!(
+            pruned.contains("\"crates/inference/src/analytic.rs\" = 0"),
+            "existing pin untouched"
+        );
+        assert!(
+            pruned.contains("\"crates/core/src/sweep.rs\" = 0"),
+            "paid-off carve-out becomes a pin: {pruned}"
+        );
+        assert!(pruned.contains("\"DET002:crates/x/src/y.rs\" = 1"));
+        assert!(!pruned.contains("DET001:crates/x/src/z.rs"), "dead entry dropped");
+
+        // The pruned text reparses, and pruning is idempotent.
+        let b = parse(&pruned).expect("pruned baseline parses");
+        assert_eq!(b.panic_budget.get("treadmill-stats"), Some(&3));
+        assert_eq!(prune(&pruned, &analysis), pruned);
     }
 }

@@ -11,11 +11,31 @@
 //! small rule registry, and turns nondeterminism from a postmortem
 //! (a golden test failing two PRs later) into a compile-gate.
 //!
+//! v2 adds a parse-based whole-workspace layer on top of the lexical
+//! scan: [`parse`] recovers items, calls, locks, and I/O events from
+//! the token stream; [`graph`] links them into a conservative
+//! workspace call graph; [`reach`] runs reachability from the
+//! deterministic entry points and the service boundary. Determinism
+//! rules (`DET001/2/3`) outside the deterministic crates fire only
+//! when the site is *provably reachable* from a deterministic entry
+//! point — per-path proofs replace the old whole-crate allowlists —
+//! and four semantic rules (`DET008`, `DUR001`, `PANIC002`, `NUM002`)
+//! check lock discipline, durability ordering, panic containment, and
+//! tainted-integer arithmetic over the same graph.
+//!
 //! See `DESIGN.md` § "Static analysis & determinism guarantees" for the
 //! rule table, suppression syntax, and the baseline ratchet policy.
 
+// Unit tests unwrap freely on fixtures they construct; library code is
+// held to the workspace lint table (see DESIGN.md, "Static analysis").
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 pub mod baseline;
+pub mod graph;
+pub mod parse;
+pub mod reach;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
 pub mod walk;
 
@@ -25,6 +45,7 @@ use std::path::Path;
 
 use baseline::Baseline;
 use rules::{check_file, FileReport, Finding};
+use scan::SourceModel;
 
 /// Full result of a workspace analysis run.
 #[derive(Debug, Default)]
@@ -40,6 +61,15 @@ pub struct Analysis {
     /// too (the baseline must be shrunk to the new count).
     pub ratchet_errors: Vec<String>,
     pub files_scanned: usize,
+    /// The reachability model, when the workspace pass ran (absent for
+    /// single-file lexical analyses). Powers `--explain`.
+    pub semantics: Option<reach::Semantics>,
+    /// Actual PANIC001 counts per crate, as reconciled (for pruning).
+    pub panic_actual: BTreeMap<String, usize>,
+    /// Actual PANIC001 counts per pinned file, as reconciled.
+    pub panic_file_actual: BTreeMap<String, usize>,
+    /// Actual counts per grandfathered `RULE:file` key, as reconciled.
+    pub grand_actual: BTreeMap<String, usize>,
 }
 
 impl Analysis {
@@ -60,7 +90,9 @@ pub fn crate_name(path: &str) -> String {
     }
 }
 
-/// Analyses one in-memory file (the fixture-test entry point).
+/// Analyses one in-memory file with the *lexical* rules only (the
+/// single-file fixture entry point). Reachability gating and semantic
+/// rules need a whole workspace — see [`analyze_files`].
 pub fn analyze_source(rel_path: &str, source: &str) -> FileReport {
     check_file(rel_path, &scan::scan(source))
 }
@@ -68,17 +100,94 @@ pub fn analyze_source(rel_path: &str, source: &str) -> FileReport {
 /// Walks the workspace at `root`, applies every rule, and reconciles
 /// the outcome against `baseline`.
 pub fn analyze_workspace(root: &Path, baseline: &Baseline) -> io::Result<Analysis> {
-    let mut analysis = Analysis::default();
-    let mut raw: Vec<Finding> = Vec::new();
+    let mut files: Vec<(String, String)> = Vec::new();
     for rel in walk::rust_files(root)? {
         let source = std::fs::read_to_string(root.join(&rel))?;
-        let report = analyze_source(&rel, &source);
+        files.push((rel, source));
+    }
+    let deps = graph::workspace_deps(root);
+    Ok(analyze_files(files, &deps, baseline))
+}
+
+/// Analyses a set of in-memory files as one workspace: lexical pass,
+/// call-graph construction, reachability gating of DET001/2/3 outside
+/// the deterministic crates, semantic rules, then baseline
+/// reconciliation. `deps` maps crate name → direct `treadmill-*`
+/// dependencies (used to bound cross-crate call resolution).
+pub fn analyze_files(
+    files: Vec<(String, String)>,
+    deps: &BTreeMap<String, Vec<String>>,
+    baseline: &Baseline,
+) -> Analysis {
+    let mut analysis = Analysis::default();
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut models: Vec<(String, SourceModel)> = Vec::new();
+    for (rel, source) in files {
+        let model = scan::scan(&source);
+        let report = check_file(&rel, &model);
         analysis.suppressed += report.suppressed;
         raw.extend(report.findings);
         analysis.files_scanned += 1;
+        models.push((rel, model));
     }
+
+    let parsed = models
+        .iter()
+        .map(|(path, model)| parse::parse_file(path, model))
+        .collect();
+    let sem = reach::Semantics::compute(graph::Graph::build(parsed, deps));
+
+    // Reachability gate: outside the deterministic crates, a lexical
+    // determinism finding stands only when its containing function is
+    // provably reachable from a deterministic entry point. Sites with
+    // no call path (service handlers, bench bins, test helpers) are
+    // exempt by proof, not by allowlist — `--explain` shows either the
+    // chain or the unreachability evidence.
+    raw.retain(|f| match f.rule.as_str() {
+        "DET001" | "DET002" | "DET003" if !rules::is_deterministic_crate(&f.file) => {
+            sem.det_reachable_at(&f.file, f.line)
+        }
+        _ => true,
+    });
+
+    // Semantic findings honor the same suppression comments as the
+    // lexical rules.
+    let model_by_path: BTreeMap<&str, &SourceModel> = models
+        .iter()
+        .map(|(path, model)| (path.as_str(), model))
+        .collect();
+    for (path, hits) in sem.findings_by_file() {
+        let Some(model) = model_by_path.get(path.as_str()) else {
+            continue;
+        };
+        for hit in hits {
+            let allowed = rules::allowed_rules_at(model, hit.line.saturating_sub(1));
+            if allowed.iter().any(|a| a == hit.rule_id) {
+                analysis.suppressed += 1;
+                continue;
+            }
+            let (summary, hint) = match rules::rule(hit.rule_id) {
+                Some(rule) => (rule.summary, rule.hint),
+                None => ("", ""),
+            };
+            let mut message = summary.split_whitespace().collect::<Vec<_>>().join(" ");
+            if let Some(detail) = &hit.detail {
+                message.push_str(": ");
+                message.push_str(detail);
+            }
+            raw.push(Finding {
+                rule: hit.rule_id.to_string(),
+                file: path.clone(),
+                line: hit.line,
+                message,
+                hint: hint.split_whitespace().collect::<Vec<_>>().join(" "),
+            });
+        }
+    }
+
     reconcile(&mut analysis, raw, baseline);
-    Ok(analysis)
+    analysis.semantics = Some(sem);
+    analysis
 }
 
 /// Splits raw findings into failures vs baseline-covered debt and
@@ -160,6 +269,10 @@ fn reconcile(analysis: &mut Analysis, raw: Vec<Finding>, baseline: &Baseline) {
             ));
         }
     }
+
+    analysis.panic_actual = panic_counts;
+    analysis.panic_file_actual = panic_file_counts;
+    analysis.grand_actual = grand_counts;
 }
 
 /// Serialises the analysis as stable machine-readable JSON.
@@ -210,7 +323,7 @@ fn push_kv(out: &mut String, key: &str, raw_value: &str) {
     out.push_str(raw_value);
 }
 
-fn push_json_string(out: &mut String, s: &str) {
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

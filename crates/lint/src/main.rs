@@ -1,24 +1,36 @@
 //! `tml-lint` — CLI for the workspace determinism & soundness analyzer.
 //!
 //! ```text
-//! tml-lint [--check] [--json] [--baseline PATH] [--root PATH] [--list-rules]
+//! tml-lint [--check] [--json] [--format sarif] [--baseline PATH] [--root PATH]
+//!          [--list-rules] [--explain RULE:file:line] [--prune-baseline]
 //! ```
 //!
 //! Default mode prints a human report and always exits 0 (informational).
 //! `--check` is the CI gate: exit 1 on any unsuppressed finding or any
-//! baseline ratchet violation, 2 on usage/IO errors.
+//! baseline ratchet violation, 2 on usage/IO errors. `--explain` prints
+//! the call-chain evidence behind a reachability verdict at a site.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use treadmill_lint::{analyze_workspace, baseline, rules, to_json};
+use treadmill_lint::{analyze_workspace, baseline, rules, sarif, to_json};
+
+#[derive(PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
 
 struct Options {
     check: bool,
-    json: bool,
+    format: Format,
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
     list_rules: bool,
+    /// `RULE:file:line` to explain.
+    explain: Option<(String, String, usize)>,
+    prune_baseline: bool,
 }
 
 fn main() -> ExitCode {
@@ -77,24 +89,66 @@ fn main() -> ExitCode {
         }
     };
 
-    if opts.json {
-        println!("{}", to_json(&analysis));
-    } else {
-        for f in &analysis.failures {
-            println!("FAIL {} {}:{} — {}", f.rule, f.file, f.line, f.message);
-            println!("     fix: {}", f.hint);
+    if let Some((rule, file, line)) = &opts.explain {
+        match &analysis.semantics {
+            Some(sem) => {
+                println!("{}", sem.explain(rule, file, *line));
+                return ExitCode::SUCCESS;
+            }
+            None => {
+                eprintln!("tml-lint: no reachability model available");
+                return ExitCode::from(2);
+            }
         }
-        for e in &analysis.ratchet_errors {
-            println!("RATCHET {e}");
+    }
+
+    if opts.prune_baseline {
+        if !baseline_path.exists() {
+            eprintln!(
+                "tml-lint: cannot prune: baseline {} not found",
+                baseline_path.display()
+            );
+            return ExitCode::from(2);
         }
-        println!(
-            "tml-lint: {} file(s) scanned — {} failure(s), {} budgeted, {} suppressed, {} ratchet error(s)",
-            analysis.files_scanned,
-            analysis.failures.len(),
-            analysis.budgeted.len(),
-            analysis.suppressed,
-            analysis.ratchet_errors.len(),
-        );
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("tml-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let pruned = baseline::prune(&text, &analysis);
+        if pruned == text {
+            println!("tml-lint: baseline already minimal, nothing to prune");
+        } else if let Err(e) = std::fs::write(&baseline_path, &pruned) {
+            eprintln!("tml-lint: writing pruned baseline: {e}");
+            return ExitCode::from(2);
+        } else {
+            println!("tml-lint: pruned {}", baseline_path.display());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    match opts.format {
+        Format::Json => println!("{}", to_json(&analysis)),
+        Format::Sarif => println!("{}", sarif::to_sarif(&analysis)),
+        Format::Human => {
+            for f in &analysis.failures {
+                println!("FAIL {} {}:{} — {}", f.rule, f.file, f.line, f.message);
+                println!("     fix: {}", f.hint);
+            }
+            for e in &analysis.ratchet_errors {
+                println!("RATCHET {e}");
+            }
+            println!(
+                "tml-lint: {} file(s) scanned — {} failure(s), {} budgeted, {} suppressed, {} ratchet error(s)",
+                analysis.files_scanned,
+                analysis.failures.len(),
+                analysis.budgeted.len(),
+                analysis.suppressed,
+                analysis.ratchet_errors.len(),
+            );
+        }
     }
 
     if opts.check && analysis.is_failure() {
@@ -104,27 +158,47 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-usage: tml-lint [--check] [--json] [--baseline PATH] [--root PATH] [--list-rules]
-  --check           CI gate: exit 1 on unsuppressed findings or ratchet violations
-  --json            machine-readable output
-  --baseline PATH   baseline file (default: <root>/lint-baseline.toml when present)
-  --root PATH       workspace root (default: nearest ancestor with [workspace])
-  --list-rules      print the rule registry and exit";
+usage: tml-lint [--check] [--json] [--format FMT] [--baseline PATH] [--root PATH]
+                [--list-rules] [--explain RULE:file:line] [--prune-baseline]
+  --check                  CI gate: exit 1 on unsuppressed findings or ratchet violations
+  --json                   machine-readable output (alias for --format json)
+  --format FMT             output format: human (default), json, sarif
+  --baseline PATH          baseline file (default: <root>/lint-baseline.toml when present)
+  --root PATH              workspace root (default: nearest ancestor with [workspace])
+  --list-rules             print the rule registry and exit
+  --explain RULE:file:line print reachability evidence for a site and exit
+  --prune-baseline         rewrite the baseline, dropping paid-off entries";
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         check: false,
-        json: false,
+        format: Format::Human,
         root: None,
         baseline: None,
         list_rules: false,
+        explain: None,
+        prune_baseline: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--check" => opts.check = true,
-            "--json" => opts.json = true,
+            "--json" => opts.format = Format::Json,
             "--list-rules" => opts.list_rules = true,
+            "--prune-baseline" => opts.prune_baseline = true,
+            "--format" => {
+                let fmt = args.next().ok_or("--format requires a value")?;
+                opts.format = match fmt.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--explain" => {
+                let spec = args.next().ok_or("--explain requires RULE:file:line")?;
+                opts.explain = Some(parse_explain(&spec)?);
+            }
             "--root" => {
                 opts.root = Some(PathBuf::from(
                     args.next().ok_or("--root requires a path")?,
@@ -143,6 +217,24 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// Parses `RULE:file:line` (the file part may itself contain no `:` on
+/// unix paths, so split at the first and last colon).
+fn parse_explain(spec: &str) -> Result<(String, String, usize), String> {
+    let (rule, rest) = spec
+        .split_once(':')
+        .ok_or("--explain expects RULE:file:line")?;
+    let (file, line) = rest
+        .rsplit_once(':')
+        .ok_or("--explain expects RULE:file:line")?;
+    let line: usize = line
+        .parse()
+        .map_err(|_| format!("bad line number `{line}` in --explain"))?;
+    if rule.is_empty() || file.is_empty() {
+        return Err("--explain expects RULE:file:line".to_string());
+    }
+    Ok((rule.to_string(), file.to_string(), line))
 }
 
 /// Walks up from the current directory to the first `Cargo.toml`

@@ -74,6 +74,42 @@ pub const RULES: &[Rule] = &[
         hint: "collect into pre-sized slots keyed by a deterministic index, or \
                merge in a fixed shard/worker order after the join",
     },
+    Rule {
+        id: "DET008",
+        summary: "shard-lock discipline violation: a second shard mutex is \
+                  acquired while another shard's guard is live (lock order \
+                  then depends on scheduling and can deadlock or reorder \
+                  cross-shard state)",
+        hint: "hold at most one shard guard at a time; route cross-shard \
+               traffic through the coordinator's mailbox drain between rounds",
+    },
+    Rule {
+        id: "DUR001",
+        summary: "durability gap in journal/artifact code: a rename publishes \
+                  a file with no preceding fsync, or a write handle is opened \
+                  and written but never synced (a crash can tear or lose the \
+                  record the resume path depends on)",
+        hint: "write to a tmp file, sync_all, then rename; fsync journal \
+               appends before acknowledging",
+    },
+    Rule {
+        id: "PANIC002",
+        summary: "panic site reachable from the service executor or HTTP \
+                  handlers through uncaught call edges — a reachable panic is \
+                  a crashed sweep and the budget is zero",
+        hint: "return a typed error along the service path, or contain the \
+               call behind catch_unwind at the job boundary; run tml-lint \
+               --explain PANIC002:file:line for the call chain",
+    },
+    Rule {
+        id: "NUM002",
+        summary: "unchecked +/-/* on a caller-supplied raw time/sequence \
+                  integer parameter crossing a call boundary (overflow wraps \
+                  silently in release and corrupts sim-time accounting)",
+        hint: "take SimTime/SimDuration (checked operators) across call \
+               boundaries, or use checked_/saturating_ arithmetic on raw \
+               nanosecond/sequence integers",
+    },
 ];
 
 /// Looks up a rule by id.
@@ -112,26 +148,13 @@ const DETERMINISTIC_CRATES: &[&str] = &[
     "crates/workloads/",
 ];
 
-fn is_deterministic_crate(path: &str) -> bool {
+pub(crate) fn is_deterministic_crate(path: &str) -> bool {
     DETERMINISTIC_CRATES.iter().any(|p| path.starts_with(p))
-}
-
-/// Crates whose whole job is talking to the real world — sockets,
-/// signals, wall clocks. DET002 does not apply to them: the
-/// determinism contract stops at the service boundary (artifacts are
-/// produced by the deterministic sweep underneath, which stays
-/// covered). An explicit allowlist beats per-line suppressions here
-/// because *every* timeout and audit timestamp in such a crate is a
-/// legitimate wall-clock read.
-const WALL_CLOCK_CRATES: &[&str] = &["crates/server/"];
-
-fn is_wall_clock_crate(path: &str) -> bool {
-    WALL_CLOCK_CRATES.iter().any(|p| path.starts_with(p))
 }
 
 /// Integration tests, benches, examples and fixtures are not library
 /// code: PANIC001/NUM001 do not apply there.
-fn is_test_like_path(path: &str) -> bool {
+pub(crate) fn is_test_like_path(path: &str) -> bool {
     path.starts_with("tests/")
         || path.starts_with("examples/")
         || path.contains("/tests/")
@@ -139,7 +162,7 @@ fn is_test_like_path(path: &str) -> bool {
         || path.contains("/examples/")
 }
 
-fn is_bin_path(path: &str) -> bool {
+pub(crate) fn is_bin_path(path: &str) -> bool {
     path.contains("/bin/") || path.ends_with("/main.rs") || path == "src/main.rs"
 }
 
@@ -234,10 +257,16 @@ const NARROWING_CASTS: &[&str] = &[
 
 /// Runs every applicable rule over a scanned file. `path` is the
 /// workspace-relative path (unix separators) used for scoping.
+///
+/// This is the *lexical* pass: DET001/DET002/DET003 are reported
+/// wherever their pattern appears. The workspace analysis in
+/// [`crate::analyze_workspace`] then keeps such a finding outside the
+/// deterministic crates only when its containing function is provably
+/// reachable from a deterministic entry point (see [`crate::reach`]) —
+/// per-path proofs replace the old whole-crate wall-clock allowlist.
 pub fn check_file(path: &str, model: &SourceModel) -> FileReport {
     let mut report = FileReport::default();
     let det = is_deterministic_crate(path);
-    let wall_clock = is_wall_clock_crate(path);
     let test_path = is_test_like_path(path);
     let bin = is_bin_path(path);
 
@@ -263,10 +292,10 @@ pub fn check_file(path: &str, model: &SourceModel) -> FileReport {
         }
         let mut hits: Vec<&'static Rule> = Vec::new();
 
-        if det && any_word(code, &["HashMap", "HashSet"]) {
+        if any_word(code, &["HashMap", "HashSet"]) {
             hits.push(&RULES[0]);
         }
-        if !wall_clock && (code.contains("Instant::now") || has_word(code, "SystemTime")) {
+        if code.contains("Instant::now") || has_word(code, "SystemTime") {
             hits.push(&RULES[1]);
         }
         if any_word(code, &["thread_rng", "from_entropy", "OsRng"]) {
@@ -307,20 +336,7 @@ pub fn check_file(path: &str, model: &SourceModel) -> FileReport {
             continue;
         }
 
-        // Collect valid allows adjacent to this line: trailing comment,
-        // or the run of comment-only lines directly above.
-        let mut allowed: Vec<String> = Vec::new();
-        collect_valid(&line.comment, &mut allowed);
-        let mut up = idx;
-        while up > 0 {
-            up -= 1;
-            let prev = &model.lines[up];
-            if prev.code.trim().is_empty() && !prev.comment.trim().is_empty() {
-                collect_valid(&prev.comment, &mut allowed);
-            } else {
-                break;
-            }
-        }
+        let allowed = allowed_rules_at(model, idx);
 
         for r in hits {
             if allowed.iter().any(|a| a == r.id) {
@@ -357,6 +373,28 @@ fn cast_with_boundary(code: &str, pat: &str) -> bool {
     false
 }
 
+/// Valid allow directives adjacent to 0-based line `idx`: trailing on
+/// the line itself, or in the run of comment-only lines directly
+/// above. Shared by the lexical pass and the semantic rules so a
+/// `tml-lint: allow(DUR001, …)` works the same way as one for DET001.
+pub(crate) fn allowed_rules_at(model: &SourceModel, idx: usize) -> Vec<String> {
+    let mut allowed: Vec<String> = Vec::new();
+    if let Some(line) = model.lines.get(idx) {
+        collect_valid(&line.comment, &mut allowed);
+    }
+    let mut up = idx;
+    while up > 0 {
+        up -= 1;
+        let prev = &model.lines[up];
+        if prev.code.trim().is_empty() && !prev.comment.trim().is_empty() {
+            collect_valid(&prev.comment, &mut allowed);
+        } else {
+            break;
+        }
+    }
+    allowed
+}
+
 fn collect_valid(comment: &str, out: &mut Vec<String>) {
     for allow in parse_allows(comment) {
         if let Allow::Valid { rule_id } = allow {
@@ -375,10 +413,13 @@ mod tests {
     }
 
     #[test]
-    fn det001_only_in_deterministic_crates() {
+    fn det001_fires_lexically_everywhere() {
+        // The lexical pass reports the pattern in every crate; the
+        // workspace pass keeps hits outside the deterministic crates
+        // only when the containing fn is det-reachable (lib.rs tests).
         let src = "use std::collections::HashMap;\n";
         assert_eq!(check("crates/cluster/src/x.rs", src).findings.len(), 1);
-        assert_eq!(check("crates/stats/src/x.rs", src).findings.len(), 0);
+        assert_eq!(check("crates/stats/src/x.rs", src).findings.len(), 1);
     }
 
     #[test]
@@ -422,23 +463,71 @@ mod tests {
     }
 
     #[test]
-    fn det002_exempts_wall_clock_crates_but_not_others() {
+    fn det002_fires_lexically_in_every_crate() {
+        // No more per-crate allowlist: the service crate's legitimate
+        // wall-clock reads are instead *proven* unreachable from the
+        // deterministic entry points by the workspace reachability pass.
         let src = "let t = Instant::now();\n";
-        // The service crate is allowlisted: sockets and audit stamps
-        // legitimately read the wall clock.
-        assert!(check("crates/server/src/service.rs", src).findings.is_empty());
-        // Everything else still trips DET002.
+        assert_eq!(check("crates/server/src/service.rs", src).findings.len(), 1);
         assert_eq!(check("crates/core/src/x.rs", src).findings.len(), 1);
         assert_eq!(check("crates/stats/src/x.rs", src).findings.len(), 1);
     }
 
     #[test]
-    fn panic001_still_applies_in_wall_clock_crates() {
-        // The DET002 exemption must not weaken the zero panic budget.
+    fn panic001_applies_in_service_crate() {
         let src = "fn lib() { x.unwrap(); }\n";
         let r = check("crates/server/src/service.rs", src);
+        assert!(r.findings.iter().any(|f| f.rule == "PANIC001"), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn malformed_allow_inside_cfg_test_is_lint000() {
+        // Suppression comments are validated even inside `#[cfg(test)]`
+        // regions: a reason-less or unknown-rule allow is LINT000 there
+        // exactly as it is in library code.
+        let src = "\
+#[cfg(test)]
+mod tests {
+    // tml-lint: allow(DET004)
+    fn t() { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }
+}
+";
+        let r = check("crates/cluster/src/x.rs", src);
+        let rules: Vec<&str> = r.findings.iter().map(|f| f.rule.as_str()).collect();
+        assert!(rules.contains(&"LINT000"), "{rules:?}");
+        // The malformed allow also fails to suppress the finding itself.
+        assert!(rules.contains(&"DET004"), "{rules:?}");
+    }
+
+    #[test]
+    fn malformed_allow_inside_spaced_cfg_test_is_lint000() {
+        // Regression: `#[cfg( test )]` spacing used to fail to open the
+        // test region, so rule logic keyed on `in_test` misbehaved.
+        let src = "\
+#[cfg( test )]
+mod tests {
+    fn t() { let _ = x.unwrap(); } // tml-lint: allow(NOSUCH, why)
+}
+";
+        let r = check("crates/cluster/src/x.rs", src);
+        // PANIC001 is rightly skipped inside the test region, but the
+        // unknown-rule allow must still surface as LINT000.
         assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
-        assert_eq!(r.findings[0].rule, "PANIC001");
+        assert_eq!(r.findings[0].rule, "LINT000");
+    }
+
+    #[test]
+    fn well_formed_allow_inside_cfg_test_suppresses() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    // tml-lint: allow(DET004, asserting on NaN-free synthetic data)
+    fn t() { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }
+}
+";
+        let r = check("crates/cluster/src/x.rs", src);
+        assert!(r.findings.is_empty(), "{:?}", r.findings);
+        assert_eq!(r.suppressed, 1);
     }
 
     #[test]

@@ -238,9 +238,15 @@ fn finish_line(
     depth: &mut i64,
     scope: &mut TestScope,
 ) {
-    // The attribute line itself is part of the test region.
-    if *scope == TestScope::None && line.code.contains("#[cfg(test)]") {
-        *scope = TestScope::Pending(*depth);
+    // The attribute line itself is part of the test region. Match on
+    // whitespace-stripped code so `#[cfg( test )]` / `# [cfg(test)]`
+    // spacing variants still open the region — suppression scanning
+    // inside test blocks depends on this flag being right.
+    if *scope == TestScope::None {
+        let compact: String = line.code.chars().filter(|c| !c.is_whitespace()).collect();
+        if compact.contains("#[cfg(test)]") {
+            *scope = TestScope::Pending(*depth);
+        }
     }
     line.in_test = *scope != TestScope::None;
     for c in line.code.chars() {
@@ -325,6 +331,16 @@ fn more_lib() {}
         assert!(m.lines[3].in_test);
         assert!(m.lines[4].in_test, "closing brace");
         assert!(!m.lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_spacing_variants_are_tracked() {
+        for attr in ["#[cfg( test )]", "# [cfg(test)]", "#[ cfg ( test ) ]"] {
+            let src = format!("{attr}\nmod tests {{\n    fn f() {{}}\n}}\nfn lib() {{}}\n");
+            let m = scan(&src);
+            assert!(m.lines[2].in_test, "{attr}: body line");
+            assert!(!m.lines[4].in_test, "{attr}: after region");
+        }
     }
 
     #[test]

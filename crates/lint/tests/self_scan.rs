@@ -41,4 +41,24 @@ fn workspace_has_no_unsuppressed_findings() {
         "baseline ratchet violations:\n  {}",
         analysis.ratchet_errors.join("\n  ")
     );
+
+    // The semantic rules ship with zero grandfathered debt: not even a
+    // budgeted finding may exist for them. (Failures were asserted
+    // empty above, so scanning the budgeted list completes the pin.)
+    for rule in ["DET008", "DUR001", "PANIC002", "NUM002"] {
+        let hits: Vec<String> = analysis
+            .budgeted
+            .iter()
+            .filter(|f| f.rule == rule)
+            .map(|f| format!("{}:{}", f.file, f.line))
+            .collect();
+        assert!(hits.is_empty(), "budgeted {rule} debt crept in: {hits:?}");
+    }
+
+    // The workspace pass produced a reachability model of plausible
+    // size — the whole-workspace graph, not a stub.
+    let sem = analysis.semantics.as_ref().expect("semantics computed");
+    assert!(sem.graph.fn_count() > 1000, "graph too small: {}", sem.graph.fn_count());
+    assert!(sem.entry_count > 10, "too few named entry points: {}", sem.entry_count);
+    assert!(sem.svc_root_count > 10, "too few service roots: {}", sem.svc_root_count);
 }

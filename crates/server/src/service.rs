@@ -777,35 +777,50 @@ fn execute_job(shared: &Arc<Shared>, id: &str) {
     };
     // A spec with a `screen` block runs the two-stage screened
     // factorial sweep (analytic screen, then DES on flagged cells);
-    // otherwise the classic repeated-run sweep.
-    let result = if let Some(screen) = spec.config.screen {
-        progress.push(format!(
-            "job {id}: analytic screen over 16 hardware cells (threshold {:.3})",
-            screen.threshold
-        ));
-        match treadmill_inference::screen_hardware(&spec.config, screen.threshold) {
-            Ok(plan) => {
-                let sweep_plan = plan.to_sweep_plan();
+    // otherwise the classic repeated-run sweep. The whole computation
+    // runs under `catch_unwind`: engine invariant violations abort by
+    // panicking, and that must poison only this job — the journal and
+    // admission state the service still owns stay consistent because
+    // the sweep mutates nothing of `Shared` directly.
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        || {
+            if let Some(screen) = spec.config.screen {
                 progress.push(format!(
-                    "job {id}: screen flagged {} of 16 cells for simulation",
-                    sweep_plan.cells.iter().filter(|c| c.flagged).count()
+                    "job {id}: analytic screen over 16 hardware cells (threshold {:.3})",
+                    screen.threshold
                 ));
-                run_factorial_sweep_controlled(
-                    &spec.config,
-                    &out_dir,
-                    &opts,
-                    Some(&sweep_plan),
-                    &mut ctrl,
-                )
-                .map(|o| (o.interrupted, o.warnings))
+                match treadmill_inference::screen_hardware(&spec.config, screen.threshold) {
+                    Ok(plan) => {
+                        let sweep_plan = plan.to_sweep_plan();
+                        progress.push(format!(
+                            "job {id}: screen flagged {} of 16 cells for simulation",
+                            sweep_plan.cells.iter().filter(|c| c.flagged).count()
+                        ));
+                        run_factorial_sweep_controlled(
+                            &spec.config,
+                            &out_dir,
+                            &opts,
+                            Some(&sweep_plan),
+                            &mut ctrl,
+                        )
+                        .map(|o| (o.interrupted, o.warnings))
+                    }
+                    Err(e) => Err(treadmill_core::SweepError::Screen {
+                        message: e.to_string(),
+                    }),
+                }
+            } else {
+                run_sweep_controlled(&spec.config, &out_dir, &opts, &mut ctrl)
+                    .map(|o| (o.interrupted, o.warnings))
             }
-            Err(e) => Err(treadmill_core::SweepError::Screen {
-                message: e.to_string(),
-            }),
-        }
-    } else {
-        run_sweep_controlled(&spec.config, &out_dir, &opts, &mut ctrl)
-            .map(|o| (o.interrupted, o.warnings))
+        },
+    ));
+    let result: Result<(bool, Vec<String>), String> = match caught {
+        Ok(outcome) => outcome.map_err(|e| e.to_string()),
+        Err(payload) => Err(format!(
+            "sweep aborted by engine invariant panic: {}",
+            panic_text(&payload)
+        )),
     };
     match result {
         Ok((interrupted, _)) if interrupted => {
@@ -837,8 +852,7 @@ fn execute_job(shared: &Arc<Shared>, id: &str) {
             progress.push(format!("job {id}: done"));
             progress.finish();
         }
-        Err(e) => {
-            let detail = e.to_string();
+        Err(detail) => {
             let _ = shared.store.set_status(id, JobStatus::Failed, Some(&detail));
             let _ = shared.audit.record(
                 "run-failed",
@@ -850,6 +864,18 @@ fn execute_job(shared: &Arc<Shared>, id: &str) {
             progress.push(format!("job {id}: failed — {detail}"));
             progress.finish();
         }
+    }
+}
+
+/// Best-effort text of a caught panic payload (`panic!` with a string
+/// or a formatted message; anything else reports its opacity).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 

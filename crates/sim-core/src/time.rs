@@ -92,6 +92,7 @@ impl SimTime {
         SimDuration(
             self.0
                 .checked_sub(earlier.0)
+                // tml-lint: allow(PANIC002, the only service chain is a name-collision edge from SystemTime::duration_since in audit.rs; sim time never reaches the service)
                 .expect("duration_since: earlier is later than self"),
         )
     }
